@@ -1,0 +1,135 @@
+// Package alp is a pure-Go implementation of ALP (Adaptive Lossless
+// floating-Point compression, Afroozeh, Kuffó & Boncz, SIGMOD'24): a
+// vectorized, lossless codec for float64/float32 columns that encodes
+// doubles originating from decimals as small integers — one exponent
+// and factor per 1024-value vector, found by two-level sampling — and
+// adaptively falls back to front-bit compression (ALP_rd) for
+// high-precision "real doubles".
+//
+// Compression is bit-exact: every NaN payload, signed zero, infinity
+// and subnormal round-trips. Compressed columns are self-describing
+// byte streams organized in row-groups of 100 vectors; any vector can
+// be decompressed without touching the rest, which is what enables
+// predicate push-down and efficient skipping in scan pipelines.
+//
+// Quick start:
+//
+//	data := alp.Encode(values)          // []float64 -> compressed bytes
+//	back, err := alp.Decode(data)       // bytes -> []float64
+//
+// Columnar access:
+//
+//	col, err := alp.Open(data)
+//	buf := make([]float64, alp.VectorSize)
+//	n, err := col.ReadVector(7, buf)    // decompress only vector 7
+//
+// Streaming:
+//
+//	w := alp.NewWriter()
+//	w.Write(chunk1); w.Write(chunk2)
+//	data := w.Close()
+package alp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// VectorSize is the number of values ALP encodes and decodes at a time.
+const VectorSize = vector.Size
+
+// RowGroupSize is the number of values per row-group, the granularity
+// of scheme selection and first-level sampling.
+const RowGroupSize = vector.RowGroupSize
+
+// ErrCorrupt is returned when a compressed stream fails validation.
+var ErrCorrupt = format.ErrCorrupt
+
+// Encode compresses values and returns a self-describing byte stream.
+func Encode(values []float64) []byte {
+	return format.EncodeColumn(values).Marshal()
+}
+
+// Decode decompresses a stream produced by Encode (or Writer).
+func Decode(data []byte) ([]float64, error) {
+	col, err := format.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return col.Decode(), nil
+}
+
+// Column provides random access into a compressed column.
+//
+// A Column is not safe for concurrent use: ReadVector reuses an
+// internal scratch buffer. For parallel scans, Open the same byte
+// stream once per goroutine (parsing is cheap relative to a scan) or
+// partition the work the way internal/engine does.
+type Column struct {
+	col     *format.Column
+	scratch []int64
+}
+
+// Compress encodes values into an in-memory Column.
+func Compress(values []float64) *Column {
+	return &Column{col: format.EncodeColumn(values), scratch: make([]int64, vector.Size)}
+}
+
+// Open parses a compressed stream for random access.
+func Open(data []byte) (*Column, error) {
+	col, err := format.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Column{col: col, scratch: make([]int64, vector.Size)}, nil
+}
+
+// Bytes serializes the column.
+func (c *Column) Bytes() []byte { return c.col.Marshal() }
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int { return c.col.N }
+
+// NumVectors returns the number of vectors in the column.
+func (c *Column) NumVectors() int { return c.col.NumVectors() }
+
+// ReadVector decompresses vector i into dst and returns the number of
+// values written. dst must have room for VectorSize values. Only the
+// addressed vector is decompressed.
+func (c *Column) ReadVector(i int, dst []float64) (int, error) {
+	if i < 0 || i >= c.col.NumVectors() {
+		return 0, fmt.Errorf("alp: vector %d out of range [0, %d)", i, c.col.NumVectors())
+	}
+	if len(dst) < c.col.VectorLen(i) {
+		return 0, errors.New("alp: destination buffer too small")
+	}
+	return c.col.DecodeVector(i, dst, c.scratch), nil
+}
+
+// Values decompresses the whole column.
+func (c *Column) Values() []float64 { return c.col.Decode() }
+
+// Sum aggregates the column without materializing it.
+func (c *Column) Sum() float64 { return c.col.Sum() }
+
+// BitsPerValue reports the compression ratio in bits per value
+// (uncompressed float64 data is 64 bits per value).
+func (c *Column) BitsPerValue() float64 { return c.col.BitsPerValue() }
+
+// CompressedSize returns the compressed payload size in bytes.
+func (c *Column) CompressedSize() int { return c.col.SizeBits() / 8 }
+
+// UsedRD reports whether any row-group used the ALP_rd scheme.
+func (c *Column) UsedRD() bool { return c.col.UsedRD() }
+
+// SumRange sums the values in [lo, hi], using per-vector min/max zone
+// maps to skip vectors that cannot contain qualifying values — a range
+// predicate pushed down into the compressed scan. It returns the sum,
+// the number of matching values, and the number of vectors actually
+// decompressed (the rest were skipped without touching their bytes).
+func (c *Column) SumRange(lo, hi float64) (sum float64, count, vectorsTouched int) {
+	return c.col.SumRange(lo, hi)
+}

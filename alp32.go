@@ -1,0 +1,58 @@
+package alp
+
+import "github.com/goalp/alp/internal/format"
+
+// Float32 support (paper §4.4): the same decimal encoding with the
+// float32 rounding sweet spot, and ALP_rd-32 for high-precision data
+// such as ML model weights.
+
+// Encode32 compresses float32 values and returns a self-describing byte
+// stream.
+func Encode32(values []float32) []byte {
+	return format.EncodeColumn32(values).Marshal()
+}
+
+// Decode32 decompresses a stream produced by Encode32.
+func Decode32(data []byte) ([]float32, error) {
+	col, err := format.Unmarshal32(data)
+	if err != nil {
+		return nil, err
+	}
+	return col.Decode(), nil
+}
+
+// Column32 provides random access into a compressed float32 column.
+type Column32 struct {
+	col     *format.Column32
+	scratch []int64
+}
+
+// Compress32 encodes float32 values into an in-memory column.
+func Compress32(values []float32) *Column32 {
+	return &Column32{col: format.EncodeColumn32(values), scratch: make([]int64, VectorSize)}
+}
+
+// Open32 parses a compressed float32 stream for random access.
+func Open32(data []byte) (*Column32, error) {
+	col, err := format.Unmarshal32(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Column32{col: col, scratch: make([]int64, VectorSize)}, nil
+}
+
+// Bytes serializes the column.
+func (c *Column32) Bytes() []byte { return c.col.Marshal() }
+
+// Len returns the number of values in the column.
+func (c *Column32) Len() int { return c.col.N }
+
+// Values decompresses the whole column.
+func (c *Column32) Values() []float32 { return c.col.Decode() }
+
+// BitsPerValue reports the compression ratio in bits per value
+// (uncompressed float32 data is 32 bits per value).
+func (c *Column32) BitsPerValue() float64 { return c.col.BitsPerValue() }
+
+// UsedRD reports whether any row-group used the ALP_rd scheme.
+func (c *Column32) UsedRD() bool { return c.col.UsedRD() }

@@ -1,0 +1,317 @@
+package alp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/goalp/alp/internal/dataset"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 150_000)
+	for i := range src {
+		src[i] = float64(r.Intn(1_000_000)) / 100
+	}
+	data := Encode(src)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], src[i])
+		}
+	}
+	if len(data) >= len(src)*8/2 {
+		t.Fatalf("compressed to %d bytes, want under half of %d", len(data), len(src)*8)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := Decode([]byte("not an alp stream")); err == nil {
+		t.Fatal("want error on garbage")
+	}
+	data := Encode([]float64{1.5, 2.5})
+	if _, err := Decode(data[:len(data)-1]); err == nil {
+		t.Fatal("want error on truncated stream")
+	}
+}
+
+func TestColumnRandomAccess(t *testing.T) {
+	d, _ := dataset.ByName("Stocks-USA")
+	src := d.Generate(130_000)
+	col, err := Open(Encode(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != len(src) {
+		t.Fatalf("Len = %d, want %d", col.Len(), len(src))
+	}
+	buf := make([]float64, VectorSize)
+	for _, vi := range []int{0, 42, col.NumVectors() - 1} {
+		n, err := col.ReadVector(vi, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(buf[i]) != math.Float64bits(src[vi*VectorSize+i]) {
+				t.Fatalf("vector %d value %d mismatch", vi, i)
+			}
+		}
+	}
+	if _, err := col.ReadVector(-1, buf); err == nil {
+		t.Fatal("want error on negative index")
+	}
+	if _, err := col.ReadVector(col.NumVectors(), buf); err == nil {
+		t.Fatal("want error past the end")
+	}
+	if _, err := col.ReadVector(0, buf[:3]); err == nil {
+		t.Fatal("want error on short buffer")
+	}
+}
+
+func TestCompressAccessors(t *testing.T) {
+	d, _ := dataset.ByName("City-Temp")
+	src := d.Generate(50_000)
+	col := Compress(src)
+	if col.UsedRD() {
+		t.Fatal("City-Temp must not use ALP_rd")
+	}
+	if bpv := col.BitsPerValue(); bpv <= 0 || bpv >= 64 {
+		t.Fatalf("BitsPerValue = %.1f", bpv)
+	}
+	if col.CompressedSize() <= 0 {
+		t.Fatal("CompressedSize must be positive")
+	}
+	vals := col.Values()
+	var want float64
+	for _, v := range src {
+		want += v
+	}
+	if got := col.Sum(); math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	for i := range src {
+		if math.Float64bits(vals[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	// Serialize and reopen.
+	col2, err := Open(col.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col2.Len() != col.Len() {
+		t.Fatal("reopened column has different length")
+	}
+}
+
+func TestWriterStreaming(t *testing.T) {
+	d, _ := dataset.ByName("Dew-Point-Temp")
+	src := d.Generate(250_000) // spans 3 row-groups
+	w := NewWriter()
+	for off := 0; off < len(src); off += 7777 {
+		hi := off + 7777
+		if hi > len(src) {
+			hi = len(src)
+		}
+		w.Write(src[off:hi])
+	}
+	if w.Len() != len(src) {
+		t.Fatalf("Writer.Len = %d, want %d", w.Len(), len(src))
+	}
+	data := w.Close()
+
+	// The streamed stream must exactly match one-shot Encode.
+	oneShot := Encode(src)
+	if len(data) != len(oneShot) {
+		t.Fatalf("streamed %d bytes, one-shot %d bytes", len(data), len(oneShot))
+	}
+
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(src) {
+		t.Fatalf("Reader.Len = %d", r.Len())
+	}
+	buf := make([]float64, VectorSize)
+	off := 0
+	for {
+		n, err := r.Next(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(buf[i]) != math.Float64bits(src[off+i]) {
+				t.Fatalf("value %d mismatch", off+i)
+			}
+		}
+		off += n
+	}
+	if off != len(src) {
+		t.Fatalf("read %d values, want %d", off, len(src))
+	}
+	r.Reset()
+	if n, _ := r.Next(buf); n == 0 {
+		t.Fatal("Reset must rewind")
+	}
+}
+
+func TestWriterPanicsAfterClose(t *testing.T) {
+	w := NewWriter()
+	w.Write([]float64{1})
+	w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on Write after Close")
+		}
+	}()
+	w.Write([]float64{2})
+}
+
+func TestQuickPublicRoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		got, err := Decode(Encode(src))
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- float32 ----
+
+func TestEncodeDecode32(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	src := make([]float32, 120_000)
+	for i := range src {
+		src[i] = float32(r.Intn(100000)) / 100
+	}
+	data := Encode32(src)
+	got, err := Decode32(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], src[i])
+		}
+	}
+	col := Compress32(src)
+	if col.UsedRD() {
+		t.Fatal("decimal float32 data must not use ALP_rd")
+	}
+	if bpv := col.BitsPerValue(); bpv >= 32 {
+		t.Fatalf("BitsPerValue = %.1f, want compression", bpv)
+	}
+}
+
+func TestWeights32UseRD(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	src := dataset.Weights32(r, 130_000)
+	col := Compress32(src)
+	if !col.UsedRD() {
+		t.Fatal("ML weights must use ALP_rd-32")
+	}
+	got, err := Decode32(col.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	if bpv := col.BitsPerValue(); bpv >= 32 || bpv < 20 {
+		t.Fatalf("BitsPerValue = %.1f, want ~28 (Table 7)", bpv)
+	}
+}
+
+func TestQuickPublicRoundTrip32(t *testing.T) {
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b)
+		}
+		got, err := Decode32(Encode32(src))
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecode32RejectsWrongMagic(t *testing.T) {
+	data := Encode([]float64{1.5})
+	if _, err := Decode32(data); err == nil {
+		t.Fatal("Decode32 must reject 64-bit streams")
+	}
+	data32 := Encode32([]float32{1.5})
+	if _, err := Decode(data32); err == nil {
+		t.Fatal("Decode must reject 32-bit streams")
+	}
+}
+
+func TestSumRangePushdown(t *testing.T) {
+	// Three vectors with disjoint value bands; a predicate selecting the
+	// middle band must skip the other vectors entirely.
+	values := make([]float64, 3*VectorSize)
+	for i := range values {
+		values[i] = float64(i/VectorSize)*1000 + float64(i%7)
+	}
+	col := Compress(values)
+	sum, count, touched := col.SumRange(1000, 1006)
+	if touched != 1 {
+		t.Fatalf("touched %d vectors, want 1", touched)
+	}
+	if count != VectorSize {
+		t.Fatalf("count = %d, want %d", count, VectorSize)
+	}
+	var want float64
+	for i := VectorSize; i < 2*VectorSize; i++ {
+		want += values[i]
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+
+	// And the zone maps must survive serialization.
+	col2, err := Open(col.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, count2, touched2 := col2.SumRange(1000, 1006)
+	if sum2 != sum || count2 != count || touched2 != touched {
+		t.Fatal("SumRange differs after round trip")
+	}
+}

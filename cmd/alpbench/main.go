@@ -1,0 +1,78 @@
+// Command alpbench regenerates the tables and figures of the ALP
+// paper's evaluation section on the synthesized datasets. Each
+// experiment is selected with -exp; see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	alpbench -exp table4                 # compression ratios (Table 4)
+//	alpbench -exp fig1 -ghz 3.0          # ratio/speed scatter at 3 GHz
+//	alpbench -exp table6 -scale 4000000  # end-to-end engine experiment
+//	alpbench -exp all                    # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/goalp/alp/internal/bench"
+	"github.com/goalp/alp/internal/dataset"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, fig1, table2, fig3, table4, table5, fig4, fig5, sampling, table6, fig6, table7, alprd, filter")
+		n       = flag.Int("n", dataset.DefaultN, "values per dataset")
+		ghz     = flag.Float64("ghz", bench.DefaultGHz, "CPU clock in GHz for tuples-per-cycle conversion")
+		minDur  = flag.Duration("mindur", 20*time.Millisecond, "minimum measurement window per timing point")
+		scale   = flag.Int("scale", 2_000_000, "values for the end-to-end experiments (paper: 1e9)")
+		threads = flag.String("threads", "1,8,16", "thread counts for the end-to-end experiments")
+	)
+	flag.Parse()
+
+	opt := bench.Options{N: *n, GHz: *ghz, MinDur: *minDur}
+	var threadList []int
+	for _, part := range strings.Split(*threads, ",") {
+		var t int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err == nil && t > 0 {
+			threadList = append(threadList, t)
+		}
+	}
+	if len(threadList) == 0 {
+		threadList = []int{1, 8, 16}
+	}
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			fn()
+			fmt.Fprintln(w)
+		}
+	}
+
+	known := map[string]bool{"all": true, "fig1": true, "table2": true, "fig3": true,
+		"table4": true, "table5": true, "fig4": true, "fig5": true, "sampling": true,
+		"table6": true, "fig6": true, "table7": true, "alprd": true, "filter": true}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "alpbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run("table2", func() { bench.RunTable2(w, opt) })
+	run("fig3", func() { bench.RunFig3(w, opt) })
+	run("table4", func() { bench.RunTable4(w, opt) })
+	run("fig1", func() { bench.RunFig1(w, opt) })
+	run("table5", func() { bench.RunTable5(w, opt) })
+	run("fig4", func() { bench.RunFig4(w, opt) })
+	run("fig5", func() { bench.RunFig5(w, opt) })
+	run("sampling", func() { bench.RunSampling(w, opt) })
+	run("table6", func() { bench.RunTable6(w, opt, *scale, threadList) })
+	run("fig6", func() { bench.RunFig6(w, opt, *scale, threadList[len(threadList)-1]) })
+	run("table7", func() { bench.RunTable7(w, opt) })
+	run("alprd", func() { bench.RunALPRD(w, opt) })
+	run("filter", func() { bench.RunFilter(w, opt, *scale) })
+}

@@ -1,0 +1,188 @@
+// Command alpfile compresses and decompresses files of float64 values
+// with ALP.
+//
+// Input for compress is either raw little-endian float64 (default) or
+// text with one number per line (-text). Output of decompress follows
+// the same convention.
+//
+// Usage:
+//
+//	alpfile [-text] compress   input.bin  output.alp
+//	alpfile [-text] decompress input.alp  output.bin
+//	alpfile stat input.alp
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/goalp/alp"
+)
+
+func main() {
+	text := flag.Bool("text", false, "treat raw files as text, one value per line")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: alpfile [-text] compress|decompress|stat <input> [output]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "compress":
+		err = compress(args[1], arg(args, 2), *text)
+	case "decompress":
+		err = decompress(args[1], arg(args, 2), *text)
+	case "stat":
+		err = stat(args[1])
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alpfile:", err)
+		os.Exit(1)
+	}
+}
+
+func arg(args []string, i int) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return ""
+}
+
+func readValues(path string, text bool) ([]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if text {
+		var values []float64
+		sc := bufio.NewScanner(strings.NewReader(string(data)))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			values = append(values, v)
+		}
+		return values, sc.Err()
+	}
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("%s: length %d is not a multiple of 8 (raw float64 expected; use -text for text input)", path, len(data))
+	}
+	values := make([]float64, len(data)/8)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return values, nil
+}
+
+func writeValues(path string, values []float64, text bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if text {
+		for _, v := range values {
+			if _, err := fmt.Fprintf(w, "%v\n", v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	} else {
+		var buf [8]byte
+		for _, v := range values {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := w.Write(buf[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func compress(in, out string, text bool) error {
+	if out == "" {
+		return fmt.Errorf("compress needs an output path")
+	}
+	values, err := readValues(in, text)
+	if err != nil {
+		return err
+	}
+	col := alp.Compress(values)
+	if err := os.WriteFile(out, col.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d values, %.2f bits/value (%.2fx), scheme %s\n",
+		out, col.Len(), col.BitsPerValue(), 64/col.BitsPerValue(), schemeName(col))
+	return nil
+}
+
+func decompress(in, out string, text bool) error {
+	if out == "" {
+		return fmt.Errorf("decompress needs an output path")
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	values, err := alp.Decode(data)
+	if err != nil {
+		return err
+	}
+	if err := writeValues(out, values, text); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d values\n", out, len(values))
+	return nil
+}
+
+func stat(in string) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	col, err := alp.Open(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("values:       %d\n", col.Len())
+	fmt.Printf("vectors:      %d\n", col.NumVectors())
+	fmt.Printf("compressed:   %d bytes\n", len(data))
+	fmt.Printf("bits/value:   %.2f (raw float64 is 64)\n", col.BitsPerValue())
+	fmt.Printf("ratio:        %.2fx\n", 64/col.BitsPerValue())
+	fmt.Printf("scheme:       %s\n", schemeName(col))
+	return nil
+}
+
+func schemeName(col *alp.Column) string {
+	if col.UsedRD() {
+		return "ALP + ALP_rd"
+	}
+	return "ALP"
+}

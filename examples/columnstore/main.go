@@ -1,0 +1,75 @@
+// Columnstore: a miniature analytical pipeline on top of the internal
+// vectorized engine — compress a monetary column, persist it, reopen
+// it, and run SCAN and SUM queries, comparing against the uncompressed
+// baseline (the paper's §4.3 end-to-end scenario).
+//
+//	go run ./examples/columnstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/goalp/alp"
+)
+
+func main() {
+	// A sales "fact table" column: amounts in dollars and cents, heavy
+	// with repeated price points — like the paper's Stocks and Gov
+	// datasets.
+	r := rand.New(rand.NewSource(3))
+	pricePoints := make([]float64, 500)
+	for i := range pricePoints {
+		pricePoints[i] = math.Round(r.Float64()*50000) / 100
+	}
+	amounts := make([]float64, 4_000_000)
+	for i := range amounts {
+		amounts[i] = pricePoints[r.Intn(len(pricePoints))]
+	}
+
+	// Persist the compressed column like a column chunk in a data file.
+	path := filepath.Join(os.TempDir(), "sales_amount.alp")
+	col := alp.Compress(amounts)
+	if err := os.WriteFile(path, col.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("column file: %s (%d bytes, %.2f bits/value)\n", path, info.Size(), col.BitsPerValue())
+	defer os.Remove(path)
+
+	// Reopen and query.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opened, err := alp.Open(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	total := opened.Sum()
+	compressed := time.Since(start)
+
+	start = time.Now()
+	var rawSum float64
+	for _, v := range amounts {
+		rawSum += v
+	}
+	raw := time.Since(start)
+
+	if math.Abs(total-rawSum) > 1e-6*math.Abs(rawSum) {
+		log.Fatalf("SUM mismatch: %v vs %v", total, rawSum)
+	}
+	fmt.Printf("SELECT SUM(amount): %.2f\n", total)
+	fmt.Printf("  over compressed column: %v (%.0f Mtuples/s)\n",
+		compressed, float64(len(amounts))/compressed.Seconds()/1e6)
+	fmt.Printf("  over raw slice:         %v (%.0f Mtuples/s)\n",
+		raw, float64(len(amounts))/raw.Seconds()/1e6)
+	fmt.Printf("storage saved: %.1f%%\n", 100*(1-float64(info.Size())/float64(len(amounts)*8)))
+}

@@ -1,0 +1,58 @@
+// Quickstart: compress a slice of doubles with ALP, decompress it, and
+// verify bit-exact round-tripping.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"github.com/goalp/alp"
+)
+
+func main() {
+	// Doubles that originated as decimals — prices with two decimal
+	// places — are ALP's home turf.
+	r := rand.New(rand.NewSource(1))
+	prices := make([]float64, 1_000_000)
+	level := 100.0
+	for i := range prices {
+		level += r.NormFloat64() * 0.5
+		prices[i] = math.Round(level*100) / 100
+	}
+
+	// One-shot API.
+	data := alp.Encode(prices)
+	back, err := alp.Decode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range prices {
+		if math.Float64bits(back[i]) != math.Float64bits(prices[i]) {
+			log.Fatalf("value %d did not round trip", i)
+		}
+	}
+
+	fmt.Printf("values:       %d\n", len(prices))
+	fmt.Printf("raw size:     %d bytes\n", len(prices)*8)
+	fmt.Printf("compressed:   %d bytes\n", len(data))
+	fmt.Printf("bits/value:   %.2f\n", float64(len(data))*8/float64(len(prices)))
+	fmt.Printf("ratio:        %.1fx\n", float64(len(prices)*8)/float64(len(data)))
+	fmt.Println("round trip:   bit-exact")
+
+	// Columnar API: decompress a single vector without touching the
+	// rest (the access pattern of a scan with predicate push-down).
+	col, err := alp.Open(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]float64, alp.VectorSize)
+	n, err := col.ReadVector(500, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vector 500:   %d values, first = %v\n", n, buf[0])
+}

@@ -1,0 +1,3 @@
+module github.com/goalp/alp
+
+go 1.22

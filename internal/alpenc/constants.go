@@ -1,0 +1,69 @@
+// Package alpenc implements ALP's decimal encoding (the paper's primary
+// contribution, §3.1–§3.3): vectors of 1024 doubles are losslessly
+// encoded as int64 integers via
+//
+//	ALP_enc = round(n * 10^e * 10^-f)      (Formula 1)
+//	ALP_dec = d * 10^f * 10^-e             (Formula 2)
+//
+// with one exponent e and factor f per vector, found by a two-level
+// sampling scheme (§3.2). Values the procedure cannot recover bit-exactly
+// become exceptions, patched after decoding. The encoded integers are
+// compressed with FFOR (internal/fastlanes).
+//
+// A parallel float32 implementation (encode32.go) mirrors the float64
+// one with the 2^22+2^23 rounding sweet spot and a reduced exponent
+// range, as in the paper's §4.4.
+package alpenc
+
+// MaxExponent is the largest exponent e considered for float64: 10^e has
+// an exact double representation for e <= 21 (paper §2.5), giving the
+// 253-combination search space (0 <= f <= e <= 21).
+const MaxExponent = 21
+
+// Combinations is the size of the exhaustive (e, f) search space for
+// float64: sum over e of (e+1) = 22*23/2.
+const Combinations = (MaxExponent + 1) * (MaxExponent + 2) / 2
+
+// sweet is 2^51 + 2^52: adding and subtracting it forces a double into
+// the range where it cannot carry a fraction, rounding it to the nearest
+// integer with two SIMD-friendly additions (paper §3.1, "Fast Rounding").
+const sweet = float64(1<<51 + 1<<52)
+
+// encLimit bounds the magnitude of scaled values eligible for the fast
+// rounding trick. Beyond ±2^51 the sweet-spot addition loses integer
+// precision, and float→int conversion of out-of-range values is
+// implementation-defined in Go (unlike C++'s cvttsd2si), so such values
+// are routed to the exception path before conversion.
+const encLimit = float64(1 << 51)
+
+// ExceptionBits is the storage cost of one float64 exception: the raw
+// 64-bit value plus a 16-bit position (paper §3.1: 80 bits).
+const ExceptionBits = 64 + 16
+
+// F10 holds the exact double representations of 10^i. 10^i is exactly
+// representable for i <= 22.
+var F10 = [MaxExponent + 1]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+	1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21,
+}
+
+// IF10 holds the double closest to 10^-i. These are inexact for i > 0;
+// the whole point of ALP's large-exponent scheme (§2.5–§2.6) is that the
+// inexactness of the *large* inverse factors is too small to perturb the
+// rounded integer.
+var IF10 = [MaxExponent + 1]float64{
+	1e0, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10,
+	1e-11, 1e-12, 1e-13, 1e-14, 1e-15, 1e-16, 1e-17, 1e-18, 1e-19, 1e-20, 1e-21,
+}
+
+// Combo is one (exponent, factor) combination, f <= e.
+type Combo struct {
+	E uint8
+	F uint8
+}
+
+// fastRound rounds x to the nearest integer using the sweet-spot trick.
+// The caller must ensure |x| < encLimit.
+func fastRound(x float64) int64 {
+	return int64(x + sweet - sweet)
+}

@@ -1,0 +1,152 @@
+package alpenc
+
+import (
+	"math"
+
+	"github.com/goalp/alp/internal/fastlanes"
+)
+
+// Vector is one ALP-encoded vector of float64 values: the FFOR-packed
+// integers plus the exception segment. The exponent and factor are
+// stored once per vector (paper §3.1, "Vectorized Compression").
+type Vector struct {
+	E, F    uint8
+	N       int
+	Ints    fastlanes.FFOR
+	ExcPos  []uint16
+	ExcVals []float64
+}
+
+// EncodeVector encodes src (at most one vector of values) with the given
+// combination, following Algorithm 1: encode all values branch-free,
+// verify by decoding, collect exceptions, replace exception slots with
+// the first successfully encoded integer, then FFOR the integers.
+// The scratch buffer, when non-nil, must hold len(src) int64s and avoids
+// a per-vector allocation.
+func EncodeVector(src []float64, c Combo, scratch []int64) Vector {
+	n := len(src)
+	enc := scratch
+	if enc == nil {
+		enc = make([]int64, n)
+	}
+	enc = enc[:n]
+	fe, ff := F10[c.E], IF10[c.F]
+	de, df := IF10[c.E], F10[c.F]
+
+	v := Vector{E: c.E, F: c.F, N: n}
+
+	// Encode + verify. The verification decode runs in the same loop so
+	// the scaled product is computed once (Algorithm 1 lines 7-12).
+	var excCount int
+	excIdx := make([]uint16, 0, 8)
+	for i, x := range src {
+		scaled := x * fe * ff
+		var d int64
+		if scaled >= -encLimit && scaled <= encLimit {
+			d = fastRound(scaled)
+		} else {
+			// NaN, ±Inf or out of fast-rounding range: certain exception.
+			d = 0
+		}
+		enc[i] = d
+		back := float64(d) * df * de
+		if math.Float64bits(back) != math.Float64bits(x) {
+			excIdx = append(excIdx, uint16(i))
+			excCount++
+		}
+	}
+
+	// Fetch the first successfully encoded integer (FIND_FIRST_ENCODED)
+	// and overwrite exception slots with it so they do not widen the
+	// bit-packing (Algorithm 1 lines 19-24).
+	if excCount > 0 {
+		first := findFirstEncoded(enc, excIdx)
+		v.ExcPos = excIdx
+		v.ExcVals = make([]float64, excCount)
+		for k, pos := range excIdx {
+			v.ExcVals[k] = src[pos]
+			enc[pos] = first
+		}
+	}
+
+	v.Ints = fastlanes.EncodeFFOR(enc)
+	return v
+}
+
+// findFirstEncoded returns the first element of enc whose index is not
+// in the (sorted) exception index list, or 0 if every value excepted.
+func findFirstEncoded(enc []int64, excIdx []uint16) int64 {
+	k := 0
+	for i := range enc {
+		if k < len(excIdx) && int(excIdx[k]) == i {
+			k++
+			continue
+		}
+		return enc[i]
+	}
+	return 0
+}
+
+// Decode decompresses the vector into dst (len dst == v.N), following
+// Algorithm 2: unFFOR, multiply by 10^f*10^-e, patch exceptions.
+func (v *Vector) Decode(dst []float64, scratch []int64) {
+	ints := scratch
+	if ints == nil {
+		ints = make([]int64, v.N)
+	}
+	ints = ints[:v.N]
+	v.Ints.Decode(ints)
+	df, de := F10[v.F], IF10[v.E]
+	for i, d := range ints {
+		dst[i] = float64(d) * df * de
+	}
+	for k, pos := range v.ExcPos {
+		dst[pos] = v.ExcVals[k]
+	}
+}
+
+// DecodeUnfused is Decode with the FFOR base addition performed in its
+// own pass (three passes total instead of two). It is the unfused
+// comparand of the Figure 5 kernel-fusion ablation.
+func (v *Vector) DecodeUnfused(dst []float64, scratch []int64) {
+	ints := scratch
+	if ints == nil {
+		ints = make([]int64, v.N)
+	}
+	ints = ints[:v.N]
+	v.Ints.DecodeUnfused(ints)
+	df, de := F10[v.F], IF10[v.E]
+	for i, d := range ints {
+		dst[i] = float64(d) * df * de
+	}
+	for k, pos := range v.ExcPos {
+		dst[pos] = v.ExcVals[k]
+	}
+}
+
+// DecodeGeneric is Decode with the width-parametric scalar unpacking
+// loop ("Scalar" variant in the Figure 4 ablation).
+func (v *Vector) DecodeGeneric(dst []float64, scratch []int64) {
+	ints := scratch
+	if ints == nil {
+		ints = make([]int64, v.N)
+	}
+	ints = ints[:v.N]
+	v.Ints.DecodeGeneric(ints)
+	df, de := F10[v.F], IF10[v.E]
+	for i, d := range ints {
+		dst[i] = float64(d) * df * de
+	}
+	for k, pos := range v.ExcPos {
+		dst[pos] = v.ExcVals[k]
+	}
+}
+
+// Exceptions returns the number of exceptions in the vector.
+func (v *Vector) Exceptions() int { return len(v.ExcPos) }
+
+// SizeBits returns the exact compressed size in bits: FFOR payload,
+// exception segment, the (e, f) byte pair and a 16-bit exception count.
+func (v *Vector) SizeBits() int {
+	return v.Ints.SizeBits() + len(v.ExcPos)*ExceptionBits + 16 + 16
+}

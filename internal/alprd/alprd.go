@@ -1,0 +1,264 @@
+// Package alprd implements ALP_rd, the paper's adaptive fallback for
+// "real doubles" (§3.4, Algorithm 3): high-precision floating-point data
+// that the decimal scheme cannot compress (e.g. the POI datasets, ML
+// model weights).
+//
+// Each value's bit pattern is cut at position p into a left part (the
+// front 64-p bits: sign, exponent, and the highest mantissa bits, at
+// most 16 bits) and a right part (the low p bits). Right parts are
+// bit-packed verbatim at p bits. Left parts exhibit low variance and are
+// compressed with a skewed dictionary: a dictionary of at most 8
+// 16-bit values chosen by frequency on a row-group sample, with values
+// outside the dictionary stored as 16-bit exceptions plus 16-bit
+// positions. The cut position p and the dictionary are chosen once per
+// row-group by sampling.
+package alprd
+
+import (
+	"math"
+	"sort"
+
+	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Cut-position search range for float64: the left part is at most 16
+// bits (p >= 48) and at least 1 bit (p <= 63).
+const (
+	minRight = 48
+	maxRight = 63
+)
+
+// MaxDictBits is the largest dictionary code width b: dictionaries hold
+// at most 2^3 = 8 entries (§3.4).
+const MaxDictBits = 3
+
+// maxExceptionFrac is the exception budget per §3.4: the smallest
+// dictionary with at most 10% exceptions is chosen, otherwise the
+// largest (b = 3).
+const maxExceptionFrac = 0.10
+
+// Encoder holds the per-row-group parameters of ALP_rd: the cut
+// position and the left-part dictionary. It is built once per row-group
+// by Sample and reused for every vector in it.
+type Encoder struct {
+	P         uint8    // right-part width in bits
+	Dict      []uint16 // left-part dictionary, most frequent first
+	CodeWidth uint     // b: bits per dictionary code
+
+	// index maps a left value to code+1 (0 = not in dictionary); a
+	// flat table keeps the per-value encode lookup branch-light.
+	index []uint16
+}
+
+// Vector is one ALP_rd-encoded vector: bit-packed right parts and
+// dictionary codes, plus the left-part exceptions.
+type Vector struct {
+	N          int
+	RightWords []uint64
+	CodeWords  []uint64
+	ExcPos     []uint16
+	ExcLeft    []uint16
+}
+
+// Sample chooses the cut position p and the dictionary on a row-group
+// sample (first-level sampling, §3.2/§3.4): for every candidate p it
+// estimates the compressed bits/value — right bits + code bits + the
+// exception overhead implied by the dictionary hit rate — and keeps the
+// best.
+func Sample(values []float64) *Encoder {
+	sample := rowGroupSample(values)
+	best := &Encoder{}
+	bestCost := math.MaxFloat64
+	for p := minRight; p <= maxRight; p++ {
+		enc := buildEncoder(sample, uint8(p))
+		cost := enc.estimateBits(sample)
+		if cost < bestCost {
+			bestCost = cost
+			best = enc
+		}
+	}
+	return best
+}
+
+// rowGroupSample mirrors the decimal scheme's first-level sampling:
+// equidistant values from equidistant vectors.
+func rowGroupSample(values []float64) []uint64 {
+	nv := vector.VectorsIn(len(values))
+	nSample := 8
+	if nv < nSample {
+		nSample = nv
+	}
+	step := 1
+	if nv > nSample {
+		step = nv / nSample
+	}
+	var sample []uint64
+	for i := 0; i < nSample; i++ {
+		lo, hi := vector.Bounds(i*step, len(values))
+		vec := values[lo:hi]
+		stride := 1
+		if len(vec) > 32 {
+			stride = len(vec) / 32
+		}
+		for j := 0; j < len(vec); j += stride {
+			sample = append(sample, math.Float64bits(vec[j]))
+		}
+	}
+	return sample
+}
+
+// buildEncoder constructs the dictionary for cut position p from the
+// sampled bit patterns: left values are ranked by frequency and the
+// smallest dictionary size 2^b with at most 10% exceptions is chosen
+// (or b = MaxDictBits if none qualifies).
+func buildEncoder(sample []uint64, p uint8) *Encoder {
+	freq := make(map[uint16]int, 64)
+	for _, bits := range sample {
+		freq[uint16(bits>>p)]++
+	}
+	type lv struct {
+		left  uint16
+		count int
+	}
+	ranked := make([]lv, 0, len(freq))
+	for l, c := range freq {
+		ranked = append(ranked, lv{l, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].left < ranked[j].left
+	})
+
+	total := len(sample)
+	chosen := MaxDictBits
+	for b := 0; b <= MaxDictBits; b++ {
+		size := 1 << b
+		hits := 0
+		for i := 0; i < size && i < len(ranked); i++ {
+			hits += ranked[i].count
+		}
+		if total == 0 || float64(total-hits)/float64(total) <= maxExceptionFrac {
+			chosen = b
+			break
+		}
+	}
+	size := 1 << chosen
+	if size > len(ranked) {
+		size = len(ranked)
+	}
+	e := &Encoder{P: p, CodeWidth: uint(chosen)}
+	e.Dict = make([]uint16, size)
+	e.index = make([]uint16, 1<<16)
+	for i := 0; i < size; i++ {
+		e.Dict[i] = ranked[i].left
+		e.index[ranked[i].left] = uint16(i) + 1
+	}
+	return e
+}
+
+// estimateBits estimates the per-value compressed size of the sample
+// under this encoder.
+func (e *Encoder) estimateBits(sample []uint64) float64 {
+	if len(sample) == 0 {
+		return 64
+	}
+	exc := 0
+	for _, bits := range sample {
+		if e.index[uint16(bits>>e.P)] == 0 {
+			exc++
+		}
+	}
+	excFrac := float64(exc) / float64(len(sample))
+	return float64(e.P) + float64(e.CodeWidth) + excFrac*32 // 16-bit value + 16-bit position
+}
+
+// EncodeVector cuts every value of src at p and compresses both parts
+// (Algorithm 3, encoding).
+func (e *Encoder) EncodeVector(src []float64) Vector {
+	n := len(src)
+	v := Vector{N: n}
+	var rightsArr, codesArr [vector.Size]uint64
+	var rights, codes []uint64
+	if n <= vector.Size {
+		rights, codes = rightsArr[:n], codesArr[:n]
+	} else {
+		rights = make([]uint64, n)
+		codes = make([]uint64, n)
+	}
+	for i, x := range src {
+		bits := math.Float64bits(x)
+		left := uint16(bits >> e.P)
+		rights[i] = bits & (uint64(1)<<e.P - 1)
+		code := e.index[left]
+		if code == 0 {
+			v.ExcPos = append(v.ExcPos, uint16(i))
+			v.ExcLeft = append(v.ExcLeft, left)
+			code = 1 // placeholder inside the code width
+		}
+		codes[i] = uint64(code - 1)
+	}
+	v.RightWords = make([]uint64, bitpack.WordCount(n, uint(e.P)))
+	bitpack.Pack(v.RightWords, rights, uint(e.P), 0)
+	v.CodeWords = make([]uint64, bitpack.WordCount(n, e.CodeWidth))
+	bitpack.Pack(v.CodeWords, codes, e.CodeWidth, 0)
+	return v
+}
+
+// DecodeVector reverses EncodeVector (Algorithm 3, decoding): bit-unpack
+// codes and right parts, translate codes through the dictionary, patch
+// exceptions, and glue left<<p | right.
+func (e *Encoder) DecodeVector(v *Vector, dst []float64) {
+	n := v.N
+	var rightsArr, codesArr, leftsArr [vector.Size]uint64
+	var rights, codes, lefts []uint64
+	if n <= vector.Size {
+		rights, codes, lefts = rightsArr[:n], codesArr[:n], leftsArr[:n]
+	} else {
+		rights = make([]uint64, n)
+		codes = make([]uint64, n)
+		lefts = make([]uint64, n)
+	}
+	bitpack.Unpack(rights, v.RightWords, uint(e.P), 0)
+	bitpack.Unpack(codes, v.CodeWords, e.CodeWidth, 0)
+	for i, c := range codes {
+		if int(c) < len(e.Dict) {
+			lefts[i] = uint64(e.Dict[c])
+		}
+	}
+	for k, pos := range v.ExcPos {
+		lefts[pos] = uint64(v.ExcLeft[k])
+	}
+	p := e.P
+	for i := range dst {
+		dst[i] = math.Float64frombits(lefts[i]<<p | rights[i])
+	}
+}
+
+// Exceptions returns the number of left-part exceptions in the vector.
+func (v *Vector) Exceptions() int { return len(v.ExcPos) }
+
+// SizeBits returns the exact compressed size of the vector in bits,
+// given the encoder that produced it.
+func (e *Encoder) SizeBits(v *Vector) int {
+	return v.N*int(e.P) + v.N*int(e.CodeWidth) + len(v.ExcPos)*32 + 16
+}
+
+// HeaderBits is the per-row-group metadata cost: the cut position, the
+// code width and the dictionary values.
+func (e *Encoder) HeaderBits() int {
+	return 8 + 8 + len(e.Dict)*16
+}
+
+// NewEncoder reconstructs an Encoder from serialized parameters (the
+// decoding side of the format reader).
+func NewEncoder(p uint8, codeWidth uint, dict []uint16) *Encoder {
+	e := &Encoder{P: p, CodeWidth: codeWidth, Dict: dict}
+	e.index = make([]uint16, 1<<16)
+	for i, l := range dict {
+		e.index[l] = uint16(i) + 1
+	}
+	return e
+}

@@ -1,0 +1,221 @@
+package alprd
+
+import (
+	"math"
+	"sort"
+
+	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// ALP_rd for 32-bit floats (§4.4): identical structure with the cut
+// position searched so the left part (sign, exponent, top mantissa
+// bits) is at most 16 bits of the 32-bit pattern.
+const (
+	minRight32 = 16
+	maxRight32 = 31
+)
+
+// Encoder32 holds the per-row-group ALP_rd parameters for float32 data.
+type Encoder32 struct {
+	P         uint8
+	Dict      []uint16
+	CodeWidth uint
+
+	index []uint16 // left value -> code+1; 0 = not in dictionary
+}
+
+// Vector32 is one ALP_rd-encoded vector of float32 values.
+type Vector32 struct {
+	N          int
+	RightWords []uint64
+	CodeWords  []uint64
+	ExcPos     []uint16
+	ExcLeft    []uint16
+}
+
+// Sample32 chooses the cut position and dictionary on a row-group
+// sample of float32 values.
+func Sample32(values []float32) *Encoder32 {
+	sample := rowGroupSample32(values)
+	best := &Encoder32{}
+	bestCost := math.MaxFloat64
+	for p := minRight32; p <= maxRight32; p++ {
+		enc := buildEncoder32(sample, uint8(p))
+		cost := enc.estimateBits(sample)
+		if cost < bestCost {
+			bestCost = cost
+			best = enc
+		}
+	}
+	return best
+}
+
+func rowGroupSample32(values []float32) []uint32 {
+	nv := vector.VectorsIn(len(values))
+	nSample := 8
+	if nv < nSample {
+		nSample = nv
+	}
+	step := 1
+	if nv > nSample {
+		step = nv / nSample
+	}
+	var sample []uint32
+	for i := 0; i < nSample; i++ {
+		lo, hi := vector.Bounds(i*step, len(values))
+		vec := values[lo:hi]
+		stride := 1
+		if len(vec) > 32 {
+			stride = len(vec) / 32
+		}
+		for j := 0; j < len(vec); j += stride {
+			sample = append(sample, math.Float32bits(vec[j]))
+		}
+	}
+	return sample
+}
+
+func buildEncoder32(sample []uint32, p uint8) *Encoder32 {
+	freq := make(map[uint16]int, 64)
+	for _, bits := range sample {
+		freq[uint16(bits>>p)]++
+	}
+	type lv struct {
+		left  uint16
+		count int
+	}
+	ranked := make([]lv, 0, len(freq))
+	for l, c := range freq {
+		ranked = append(ranked, lv{l, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].left < ranked[j].left
+	})
+	total := len(sample)
+	chosen := MaxDictBits
+	for b := 0; b <= MaxDictBits; b++ {
+		size := 1 << b
+		hits := 0
+		for i := 0; i < size && i < len(ranked); i++ {
+			hits += ranked[i].count
+		}
+		if total == 0 || float64(total-hits)/float64(total) <= maxExceptionFrac {
+			chosen = b
+			break
+		}
+	}
+	size := 1 << chosen
+	if size > len(ranked) {
+		size = len(ranked)
+	}
+	e := &Encoder32{P: p, CodeWidth: uint(chosen)}
+	e.Dict = make([]uint16, size)
+	e.index = make([]uint16, 1<<16)
+	for i := 0; i < size; i++ {
+		e.Dict[i] = ranked[i].left
+		e.index[ranked[i].left] = uint16(i) + 1
+	}
+	return e
+}
+
+func (e *Encoder32) estimateBits(sample []uint32) float64 {
+	if len(sample) == 0 {
+		return 32
+	}
+	exc := 0
+	for _, bits := range sample {
+		if e.index[uint16(bits>>e.P)] == 0 {
+			exc++
+		}
+	}
+	excFrac := float64(exc) / float64(len(sample))
+	return float64(e.P) + float64(e.CodeWidth) + excFrac*32
+}
+
+// EncodeVector cuts every float32 of src at p and compresses both parts.
+func (e *Encoder32) EncodeVector(src []float32) Vector32 {
+	n := len(src)
+	v := Vector32{N: n}
+	var rightsArr, codesArr [vector.Size]uint64
+	var rights, codes []uint64
+	if n <= vector.Size {
+		rights, codes = rightsArr[:n], codesArr[:n]
+	} else {
+		rights = make([]uint64, n)
+		codes = make([]uint64, n)
+	}
+	for i, x := range src {
+		bits := math.Float32bits(x)
+		left := uint16(bits >> e.P)
+		rights[i] = uint64(bits) & (uint64(1)<<e.P - 1)
+		code := e.index[left]
+		if code == 0 {
+			v.ExcPos = append(v.ExcPos, uint16(i))
+			v.ExcLeft = append(v.ExcLeft, left)
+			code = 1 // placeholder inside the code width
+		}
+		codes[i] = uint64(code - 1)
+	}
+	v.RightWords = make([]uint64, bitpack.WordCount(n, uint(e.P)))
+	bitpack.Pack(v.RightWords, rights, uint(e.P), 0)
+	v.CodeWords = make([]uint64, bitpack.WordCount(n, e.CodeWidth))
+	bitpack.Pack(v.CodeWords, codes, e.CodeWidth, 0)
+	return v
+}
+
+// DecodeVector reverses EncodeVector.
+func (e *Encoder32) DecodeVector(v *Vector32, dst []float32) {
+	n := v.N
+	var rightsArr, codesArr [vector.Size]uint64
+	var leftsArr [vector.Size]uint32
+	var rights, codes []uint64
+	var lefts []uint32
+	if n <= vector.Size {
+		rights, codes, lefts = rightsArr[:n], codesArr[:n], leftsArr[:n]
+	} else {
+		rights = make([]uint64, n)
+		codes = make([]uint64, n)
+		lefts = make([]uint32, n)
+	}
+	bitpack.Unpack(rights, v.RightWords, uint(e.P), 0)
+	bitpack.Unpack(codes, v.CodeWords, e.CodeWidth, 0)
+	for i, c := range codes {
+		if int(c) < len(e.Dict) {
+			lefts[i] = uint32(e.Dict[c])
+		}
+	}
+	for k, pos := range v.ExcPos {
+		lefts[pos] = uint32(v.ExcLeft[k])
+	}
+	p := e.P
+	for i := range dst {
+		dst[i] = math.Float32frombits(lefts[i]<<p | uint32(rights[i]))
+	}
+}
+
+// Exceptions returns the number of left-part exceptions in the vector.
+func (v *Vector32) Exceptions() int { return len(v.ExcPos) }
+
+// SizeBits returns the exact compressed size of the vector in bits.
+func (e *Encoder32) SizeBits(v *Vector32) int {
+	return v.N*int(e.P) + v.N*int(e.CodeWidth) + len(v.ExcPos)*32 + 16
+}
+
+// HeaderBits is the per-row-group metadata cost.
+func (e *Encoder32) HeaderBits() int {
+	return 8 + 8 + len(e.Dict)*16
+}
+
+// NewEncoder32 reconstructs an Encoder32 from serialized parameters.
+func NewEncoder32(p uint8, codeWidth uint, dict []uint16) *Encoder32 {
+	e := &Encoder32{P: p, CodeWidth: codeWidth, Dict: dict}
+	e.index = make([]uint16, 1<<16)
+	for i, l := range dict {
+		e.index[l] = uint16(i) + 1
+	}
+	return e
+}

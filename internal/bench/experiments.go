@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/format"
+)
+
+// Options configures the experiment drivers.
+type Options struct {
+	N      int           // values per dataset
+	GHz    float64       // clock used to convert time to cycles
+	MinDur time.Duration // minimum measurement window per timing point
+}
+
+// DefaultOptions returns the options used by `alpbench` unless
+// overridden by flags.
+func DefaultOptions() Options {
+	return Options{N: dataset.DefaultN, GHz: DefaultGHz, MinDur: 20 * time.Millisecond}
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Perf is one (dataset, codec) measurement: compression ratio plus
+// compression/decompression speed.
+type Perf struct {
+	Dataset string
+	Codec   string
+	Bits    float64
+	Speed   Speed
+}
+
+// CollectPerf measures ratio and speed for every codec (ALP and all
+// baselines) on every dataset — the data behind Figure 1 and Table 5.
+func CollectPerf(opt Options) []Perf {
+	var out []Perf
+	for _, d := range dataset.All() {
+		values := d.Generate(opt.N)
+		col := format.EncodeColumn(values)
+		var alpSpeed Speed
+		if col.UsedRD() {
+			alpSpeed = MeasureALPRD(values, opt.GHz, opt.MinDur)
+		} else {
+			alpSpeed = MeasureALP(values, opt.GHz, opt.MinDur)
+		}
+		out = append(out, Perf{Dataset: d.Name, Codec: "ALP", Bits: col.BitsPerValue(), Speed: alpSpeed})
+		for _, c := range Baselines() {
+			out = append(out, Perf{
+				Dataset: d.Name,
+				Codec:   c.Name,
+				Bits:    c.BitsPerValue(values),
+				Speed:   MeasureCodec(c, values, opt.GHz, opt.MinDur),
+			})
+		}
+	}
+	return out
+}
+
+// RunFig1 prints the Figure 1 scatter data: one row per (dataset,
+// codec) with bits/value and [de]compression tuples per cycle.
+func RunFig1(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Figure 1: compression ratio vs [de]compression speed (all schemes x all datasets) ==")
+	fmt.Fprintf(w, "   (speed in tuples per CPU cycle at %.1f GHz; each row is one dot)\n", opt.GHz)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tcodec\tbits/value\tcomp t/c\tdecomp t/c")
+	for _, p := range CollectPerf(opt) {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.3f\t%.3f\n", p.Dataset, p.Codec, p.Bits, p.Speed.Comp, p.Speed.Decomp)
+	}
+	tw.Flush()
+}
+
+// RunTable5 prints the Table 5 aggregate: average compression and
+// decompression tuples/cycle per scheme, with ALP's speedup factors.
+func RunTable5(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Table 5: average [de]compression speed, tuples per CPU cycle ==")
+	perf := CollectPerf(opt)
+	type agg struct {
+		comp, decomp float64
+		n            int
+	}
+	byCodec := map[string]*agg{}
+	var order []string
+	for _, p := range perf {
+		a, ok := byCodec[p.Codec]
+		if !ok {
+			a = &agg{}
+			byCodec[p.Codec] = a
+			order = append(order, p.Codec)
+		}
+		a.comp += p.Speed.Comp
+		a.decomp += p.Speed.Decomp
+		a.n++
+	}
+	alp := byCodec["ALP"]
+	tw := newTab(w)
+	fmt.Fprintln(tw, "algorithm\tcompression\tALP faster by\tdecompression\tALP faster by")
+	for _, name := range order {
+		a := byCodec[name]
+		comp := a.comp / float64(a.n)
+		decomp := a.decomp / float64(a.n)
+		if name == "ALP" {
+			fmt.Fprintf(tw, "%s\t%.3f\t-\t%.3f\t-\n", name, comp, decomp)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.0fx\t%.3f\t%.0fx\n",
+			name, comp, alp.comp/float64(alp.n)/comp, decomp, alp.decomp/float64(alp.n)/decomp)
+	}
+	tw.Flush()
+}
+
+// RunTable4 prints the Table 4 compression ratios in bits per value for
+// every scheme, plus the LWC+ALP cascade column.
+func RunTable4(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Table 4: compression ratio, bits per value (lower is better; raw = 64) ==")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tGor.\tCh.\tCh.128\tPatas\tPDE\tElf\tALP\tLWC+ALP\tZstd*")
+	codecs := Baselines()
+	type sums struct {
+		vals  [10]float64
+		count int
+	}
+	var tsAgg, nonAgg, allAgg sums
+	for _, d := range dataset.All() {
+		values := d.Generate(opt.N)
+		col := format.EncodeColumn(values)
+		alpBits := col.BitsPerValue()
+		casc := MeasureCascade(values)
+		row := make(map[string]float64, len(codecs))
+		for _, c := range codecs {
+			row[c.Name] = c.BitsPerValue(values)
+		}
+		mark := ""
+		if col.UsedRD() {
+			mark = "*"
+		}
+		cascLabel := fmt.Sprintf("%.1f", casc.BitsPerValue)
+		if casc.Scheme != "" {
+			cascLabel += " " + casc.Scheme
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f%s\t%s\t%.1f\n",
+			d.Name, row["Gorilla"], row["Chimp"], row["Chimp128"], row["Patas"],
+			row["PDE"], row["Elf"], alpBits, mark, cascLabel, row["Zstd*"])
+		vals := [10]float64{row["Gorilla"], row["Chimp"], row["Chimp128"], row["Patas"],
+			row["PDE"], row["Elf"], alpBits, casc.BitsPerValue, row["Zstd*"]}
+		targets := []*sums{&allAgg}
+		if d.TimeSeries {
+			targets = append(targets, &tsAgg)
+		} else {
+			targets = append(targets, &nonAgg)
+		}
+		for _, t := range targets {
+			for i, v := range vals {
+				t.vals[i] += v
+			}
+			t.count++
+		}
+	}
+	printAvg := func(name string, s *sums) {
+		if s.count == 0 {
+			return
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n", name,
+			s.vals[0]/float64(s.count), s.vals[1]/float64(s.count), s.vals[2]/float64(s.count),
+			s.vals[3]/float64(s.count), s.vals[4]/float64(s.count), s.vals[5]/float64(s.count),
+			s.vals[6]/float64(s.count), s.vals[7]/float64(s.count), s.vals[8]/float64(s.count))
+	}
+	printAvg("TS AVG.", &tsAgg)
+	printAvg("NON-TS AVG.", &nonAgg)
+	printAvg("ALL AVG.", &allAgg)
+	tw.Flush()
+	fmt.Fprintln(w, "   (* = ALP_rd was used; Zstd* is stdlib DEFLATE standing in for Zstd, see DESIGN.md)")
+}
+
+// RunTable2 prints the recomputed dataset metrics of Table 2.
+func RunTable2(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Table 2: dataset metrics on the synthesized datasets ==")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tprec max\tmin\tavg\tstd\tnon-uniq%\tval avg\tval std\texp avg\texp std\tPenc vis%\tbest e\tbest e%\tper-vec%\tXOR lead\tXOR trail")
+	for _, d := range dataset.All() {
+		s := dataset.Analyze(d.Name, d.Generate(opt.N))
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f%%\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f%%\t%d\t%.1f%%\t%.1f%%\t%.1f\t%.1f\n",
+			s.Name, s.PrecMax, s.PrecMin, s.PrecAvg, s.PrecStd, s.NonUniquePct,
+			s.ValueAvg, s.ValueStd, s.ExpAvg, s.ExpStd,
+			s.SuccessVisible, s.BestE, s.SuccessBestE, s.SuccessPerVector,
+			s.XORLeadAvg, s.XORTrailAvg)
+	}
+	tw.Flush()
+}

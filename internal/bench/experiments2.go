@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"github.com/goalp/alp/internal/alpenc"
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/fastlanes"
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// RunFig3 reproduces the Figure 3 analysis: per dataset, how many
+// distinct (e, f) combinations are needed to cover the per-vector best
+// combination of every vector. The paper's finding — at most ~5 per
+// dataset, often 1 — justifies the two-level sampling design.
+func RunFig3(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Figure 3: best (e,f) combinations per vector, cumulative coverage ==")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tdistinct combos\tcombos for 99%\ttop-1 coverage\ttop-5 coverage")
+	for _, d := range dataset.All() {
+		if d.RD {
+			continue // the decimal search space is irrelevant for ALP_rd data
+		}
+		values := d.Generate(opt.N)
+		counts := map[alpenc.Combo]int{}
+		nv := vector.VectorsIn(len(values))
+		for v := 0; v < nv; v++ {
+			lo, hi := vector.Bounds(v, len(values))
+			best, _ := alpenc.FindBest(values[lo:hi])
+			counts[best]++
+		}
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+		top1 := 100 * float64(freqs[0]) / float64(nv)
+		top5 := 0
+		for i := 0; i < 5 && i < len(freqs); i++ {
+			top5 += freqs[i]
+		}
+		cum, need99 := 0, 0
+		for i, f := range freqs {
+			cum += f
+			if float64(cum) >= 0.99*float64(nv) {
+				need99 = i + 1
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\t%.1f%%\n",
+			d.Name, len(counts), need99, top1, 100*float64(top5)/float64(nv))
+	}
+	tw.Flush()
+}
+
+// RunFig4 reproduces the Figure 4 architecture study as a kernel-variant
+// ablation (see DESIGN.md, substitution 3): ALP decompression through
+// the specialized fused kernels ("SIMDized"), specialized kernels with
+// a separate reference pass ("Auto-vectorized"), and the generic
+// width-parametric loop ("Scalar").
+func RunFig4(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Figure 4: ALP decompression speed by kernel variant (tuples/cycle) ==")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tfused kernels\tunfused kernels\tgeneric scalar")
+	for _, d := range dataset.All() {
+		if d.RD {
+			continue
+		}
+		values := d.Generate(opt.N)
+		fused, unfused, scalar := MeasureALPVariants(values, opt.GHz, opt.MinDur)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", d.Name, fused, unfused, scalar)
+	}
+	tw.Flush()
+}
+
+// RunFig5 reproduces Figure 5: decompression speed of ALP+FFOR fused
+// into one kernel vs two separate kernels, on the datasets (top plot)
+// and on synthetic vectors of every bit width 0..52 (bottom plot).
+func RunFig5(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Figure 5 (top): fused vs unfused ALP+FFOR decode on the datasets ==")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tfused t/c\tunfused t/c\tspeedup")
+	for _, d := range dataset.All() {
+		if d.RD {
+			continue
+		}
+		values := d.Generate(opt.N)
+		fused, unfused, _ := MeasureALPVariants(values, opt.GHz, opt.MinDur)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.0f%%\n", d.Name, fused, unfused, 100*(fused/unfused-1))
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "== Figure 5 (bottom): fused vs unfused by vector bit width ==")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "bit width\tfused t/c\tunfused t/c\tspeedup")
+	r := rand.New(rand.NewSource(42))
+	dst := make([]float64, vector.Size)
+	scratch := make([]int64, vector.Size)
+	for width := 0; width <= 52; width += 4 {
+		ints := make([]int64, vector.Size)
+		for i := range ints {
+			if width > 0 {
+				ints[i] = int64(r.Uint64() & (1<<uint(width) - 1))
+			}
+		}
+		v := alpenc.Vector{E: 2, F: 0, N: vector.Size, Ints: fastlanes.EncodeFFOR(ints)}
+		fused := TuplesPerCycle(measureSeconds(func() { v.Decode(dst, scratch) }, opt.MinDur), vector.Size, opt.GHz)
+		unfused := TuplesPerCycle(measureSeconds(func() { v.DecodeUnfused(dst, scratch) }, opt.MinDur), vector.Size, opt.GHz)
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.0f%%\n", width, fused, unfused, 100*(fused/unfused-1))
+	}
+	tw.Flush()
+}
+
+// RunSampling reproduces the §4.2 sampling-overhead analysis: how many
+// candidate combinations the second stage tries per vector, and how
+// close the sampled choice is to an exhaustive per-vector search.
+func RunSampling(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "== Sampling overhead (§4.2): second-stage candidate tries per vector ==")
+	triedHist := map[int]int{}
+	vectors := 0
+	nd := 0
+	var sampledBits, bruteBits float64
+	for _, d := range dataset.All() {
+		if d.RD {
+			continue
+		}
+		nd++
+		values := d.Generate(opt.N)
+		col := format.EncodeColumn(values)
+		for i := range col.RowGroups {
+			rg := &col.RowGroups[i]
+			for _, tried := range rg.SecondStageTried {
+				triedHist[tried]++
+				vectors++
+			}
+		}
+		sampledBits += col.BitsPerValue()
+
+		// Exhaustive per-vector search for the ratio gap.
+		var bits int
+		scratch := make([]int64, vector.Size)
+		for v := 0; v < vector.VectorsIn(len(values)); v++ {
+			lo, hi := vector.Bounds(v, len(values))
+			best, _ := alpenc.FindBest(values[lo:hi])
+			enc := alpenc.EncodeVector(values[lo:hi], best, scratch)
+			bits += enc.SizeBits()
+		}
+		bruteBits += float64(bits) / float64(len(values))
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "combinations tried\tvectors\tshare")
+	keys := make([]int, 0, len(triedHist))
+	for k := range triedHist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		label := fmt.Sprintf("%d", k)
+		if k == 0 {
+			label = "0 (second stage skipped)"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", label, triedHist[k], 100*float64(triedHist[k])/float64(vectors))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "sampled choice: %.2f bits/value avg; exhaustive per-vector search: %.2f (gap %.2f%%)\n",
+		sampledBits/float64(nd), bruteBits/float64(nd), 100*(sampledBits-bruteBits)/bruteBits)
+}

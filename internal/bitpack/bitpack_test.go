@@ -1,0 +1,229 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomValues(r *rand.Rand, n int, w uint) []uint64 {
+	m := mask(w)
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.Uint64() & m
+	}
+	return vs
+}
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want uint
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1<<52 - 1, 52}, {1 << 52, 53}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := Width(c.max); got != c.want {
+			t.Errorf("Width(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	cases := []struct {
+		n    int
+		w    uint
+		want int
+	}{
+		{0, 13, 0}, {1, 1, 1}, {64, 1, 1}, {65, 1, 2},
+		{1024, 3, 48}, {1024, 64, 1024}, {1024, 0, 0}, {1000, 7, 110},
+	}
+	for _, c := range cases {
+		if got := WordCount(c.n, c.w); got != c.want {
+			t.Errorf("WordCount(%d, %d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+// TestRoundTripAllWidths packs and unpacks full vectors at every width.
+func TestRoundTripAllWidths(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for w := uint(0); w <= 64; w++ {
+		src := randomValues(r, 1024, w)
+		packed := make([]uint64, WordCount(len(src), w))
+		Pack(packed, src, w, 0)
+		got := make([]uint64, len(src))
+		Unpack(got, packed, w, 0)
+		for i := range src {
+			if got[i] != src[i] {
+				t.Fatalf("width %d: value %d: got %#x, want %#x", w, i, got[i], src[i])
+			}
+		}
+	}
+}
+
+// TestRoundTripTail exercises the generic tail path with lengths that are
+// not multiples of the block size.
+func TestRoundTripTail(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 3, 63, 64, 65, 127, 129, 1000, 1023} {
+		for _, w := range []uint{1, 5, 17, 33, 52, 63, 64} {
+			src := randomValues(r, n, w)
+			packed := make([]uint64, WordCount(n, w))
+			Pack(packed, src, w, 0)
+			got := make([]uint64, n)
+			Unpack(got, packed, w, 0)
+			for i := range src {
+				if got[i] != src[i] {
+					t.Fatalf("n=%d width=%d: value %d: got %#x, want %#x", n, w, i, got[i], src[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripWithBase verifies the fused frame-of-reference behaviour:
+// packing stores v-base, unpacking restores v.
+func TestRoundTripWithBase(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	base := uint64(1 << 40)
+	for _, w := range []uint{0, 1, 9, 21, 52} {
+		src := randomValues(r, 1024, w)
+		for i := range src {
+			src[i] += base
+		}
+		packed := make([]uint64, WordCount(len(src), w))
+		Pack(packed, src, w, base)
+		got := make([]uint64, len(src))
+		Unpack(got, packed, w, base)
+		for i := range src {
+			if got[i] != src[i] {
+				t.Fatalf("width %d: value %d: got %d, want %d", w, i, got[i], src[i])
+			}
+		}
+	}
+}
+
+// TestKernelsMatchGeneric cross-checks the generated kernels against the
+// generic loops on identical inputs for every width.
+func TestKernelsMatchGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for w := uint(1); w < 64; w++ {
+		src := randomValues(r, BlockSize, w)
+		arr := (*[BlockSize]uint64)(src)
+
+		pk := make([]uint64, WordCount(BlockSize, w))
+		packBlock(pk, arr, w, 0)
+		pg := make([]uint64, WordCount(BlockSize, w))
+		PackGeneric(pg, src, w, 0)
+		for i := range pk {
+			if pk[i] != pg[i] {
+				t.Fatalf("pack width %d: word %d: kernel %#x, generic %#x", w, i, pk[i], pg[i])
+			}
+		}
+
+		var uk [BlockSize]uint64
+		unpackBlock(&uk, pk, w, 0)
+		ug := make([]uint64, BlockSize)
+		UnpackGeneric(ug, pg, w, 0)
+		for i := range uk {
+			if uk[i] != ug[i] || uk[i] != src[i] {
+				t.Fatalf("unpack width %d: value %d: kernel %#x, generic %#x, want %#x", w, i, uk[i], ug[i], src[i])
+			}
+		}
+	}
+}
+
+// TestPackOverflowMasked verifies that values wider than w are truncated
+// to their w low bits rather than corrupting neighbours.
+func TestPackOverflowMasked(t *testing.T) {
+	src := make([]uint64, 64)
+	for i := range src {
+		src[i] = ^uint64(0) // all ones, wider than any w < 64
+	}
+	for _, w := range []uint{1, 7, 13} {
+		packed := make([]uint64, WordCount(len(src), w))
+		Pack(packed, src, w, 0)
+		got := make([]uint64, len(src))
+		Unpack(got, packed, w, 0)
+		want := mask(w)
+		for i := range got {
+			if got[i] != want {
+				t.Fatalf("width %d: value %d: got %#x, want %#x", w, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestUnpackBlockGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	src := randomValues(r, 64, 11)
+	packed := make([]uint64, WordCount(64, 11))
+	Pack(packed, src, 11, 0)
+	got := make([]uint64, 64)
+	UnpackBlockGeneric(got, packed, 64, 11, 0)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("value %d: got %#x, want %#x", i, got[i], src[i])
+		}
+	}
+	UnpackBlockGeneric(got, nil, 64, 0, 7)
+	for i := range got {
+		if got[i] != 7 {
+			t.Fatalf("width 0: value %d: got %d, want 7", i, got[i])
+		}
+	}
+}
+
+// TestQuickRoundTrip is a property test: any values at any width round
+// trip through pack/unpack with any base.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint64, w8 uint8, base uint64) bool {
+		w := uint(w8 % 65)
+		src := make([]uint64, len(raw))
+		m := mask(w)
+		for i, v := range raw {
+			src[i] = base + (v & m)
+		}
+		packed := make([]uint64, WordCount(len(src), w))
+		Pack(packed, src, w, base)
+		got := make([]uint64, len(src))
+		Unpack(got, packed, w, base)
+		for i := range src {
+			if got[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnpackKernel(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	src := randomValues(r, 1024, 16)
+	packed := make([]uint64, WordCount(1024, 16))
+	Pack(packed, src, 16, 0)
+	dst := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Unpack(dst, packed, 16, 0)
+	}
+}
+
+func BenchmarkUnpackGeneric(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	src := randomValues(r, 1024, 16)
+	packed := make([]uint64, WordCount(1024, 16))
+	Pack(packed, src, 16, 0)
+	dst := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnpackGeneric(dst, packed, 16, 0)
+	}
+}

@@ -1,0 +1,130 @@
+// Package bitstream provides MSB-first bit-level readers and writers,
+// the substrate shared by the XOR-family baselines (Gorilla, Chimp,
+// Chimp128, Elf) which emit variable-length bit sequences per value —
+// exactly the value-at-a-time layout whose cost ALP's vectorized design
+// avoids.
+package bitstream
+
+import "errors"
+
+// ErrShortStream is reported when a read runs past the end of the
+// stream.
+var ErrShortStream = errors.New("bitstream: read past end of stream")
+
+// Writer accumulates bits MSB-first into a byte slice.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	fill uint // bits used in cur
+	bits int  // total bits written
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint
+// bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint64) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.fill++
+	w.bits++
+	if w.fill == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.fill = 0, 0
+	}
+}
+
+// WriteBits appends the n low bits of v, most significant first. n must
+// be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for n > 0 {
+		free := 8 - w.fill
+		if n < free {
+			w.cur = w.cur<<n | byte(v&(1<<n-1))
+			w.fill += n
+			w.bits += int(n)
+			return
+		}
+		w.cur = w.cur<<free | byte(v>>(n-free)&(1<<free-1))
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.fill = 0, 0
+		w.bits += int(free)
+		n -= free
+	}
+}
+
+// Len returns the total number of bits written.
+func (w *Writer) Len() int { return w.bits }
+
+// Bytes flushes any partial byte (zero-padded) and returns the stream.
+// The Writer remains usable; further writes continue after the padding
+// only if the bit count was already byte-aligned, so call Bytes once,
+// when encoding is complete.
+func (w *Writer) Bytes() []byte {
+	if w.fill == 0 {
+		return w.buf
+	}
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	return append(out, w.cur<<(8-w.fill))
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int  // next byte
+	cur  byte // current byte being consumed
+	left uint // bits left in cur
+	err  error
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err returns the first error encountered (only ErrShortStream).
+func (r *Reader) Err() error { return r.err }
+
+// ReadBit consumes one bit. After the stream is exhausted it returns 0
+// and records ErrShortStream.
+func (r *Reader) ReadBit() uint64 {
+	if r.left == 0 {
+		if r.pos >= len(r.buf) {
+			r.err = ErrShortStream
+			return 0
+		}
+		r.cur = r.buf[r.pos]
+		r.pos++
+		r.left = 8
+	}
+	r.left--
+	return uint64(r.cur>>r.left) & 1
+}
+
+// ReadBits consumes n bits, most significant first. n must be in
+// [0, 64].
+func (r *Reader) ReadBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		if r.left == 0 {
+			if r.pos >= len(r.buf) {
+				r.err = ErrShortStream
+				return v << n
+			}
+			r.cur = r.buf[r.pos]
+			r.pos++
+			r.left = 8
+		}
+		take := r.left
+		if n < take {
+			take = n
+		}
+		r.left -= take
+		v = v<<take | uint64(r.cur>>r.left)&(1<<take-1)
+		n -= take
+	}
+	return v
+}

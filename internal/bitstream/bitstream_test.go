@@ -1,0 +1,99 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBit(1)
+	w.WriteBits(0xdeadbeef, 32)
+	w.WriteBits(0, 0)
+	w.WriteBits(^uint64(0), 64)
+	if w.Len() != 3+1+32+64 {
+		t.Fatalf("Len = %d, want 100", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("got %#b", got)
+	}
+	if got := r.ReadBit(); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if got := r.ReadBits(32); got != 0xdeadbeef {
+		t.Fatalf("got %#x", got)
+	}
+	if got := r.ReadBits(64); got != ^uint64(0) {
+		t.Fatalf("got %#x", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	r.ReadBits(8)
+	if r.Err() != nil {
+		t.Fatal("no error expected yet")
+	}
+	if got := r.ReadBit(); got != 0 {
+		t.Fatalf("got %d, want 0 after end", got)
+	}
+	if r.Err() != ErrShortStream {
+		t.Fatalf("err = %v, want ErrShortStream", r.Err())
+	}
+}
+
+func TestPartialByteFlush(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0b11, 2)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b11000000 {
+		t.Fatalf("got %08b", b)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		if len(vals) > len(widths) {
+			vals = vals[:len(widths)]
+		}
+		w := NewWriter(len(vals) * 8)
+		ws := make([]uint, len(vals))
+		for i, v := range vals {
+			n := uint(widths[i]%64) + 1
+			ws[i] = n
+			w.WriteBits(v&(1<<n-1), n)
+		}
+		r := NewReader(w.Bytes())
+		for i, v := range vals {
+			if got := r.ReadBits(ws[i]); got != v&(1<<ws[i]-1) {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedBitAndBits(t *testing.T) {
+	w := NewWriter(8)
+	for i := 0; i < 9; i++ { // cross a byte boundary with single bits
+		w.WriteBit(uint64(i) & 1)
+	}
+	w.WriteBits(0x1ff, 9)
+	r := NewReader(w.Bytes())
+	for i := 0; i < 9; i++ {
+		if got := r.ReadBit(); got != uint64(i)&1 {
+			t.Fatalf("bit %d: got %d", i, got)
+		}
+	}
+	if got := r.ReadBits(9); got != 0x1ff {
+		t.Fatalf("got %#x", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package chimp implements Chimp and Chimp128 (Liakos et al., VLDB'22),
+// the XOR-family baselines that refine Gorilla with four per-value
+// encoding modes and (for Chimp128) a reference value chosen among the
+// previous 128 values.
+//
+// Per value, with xor = v ^ ref:
+//
+//	flag 00  xor == 0 (Chimp128 additionally stores the 7-bit ref index)
+//	flag 01  trailing zeros > threshold: 3-bit rounded leading-zero code,
+//	         6-bit significant-bit count, and the center bits
+//	flag 10  same rounded leading-zero count as the previous value:
+//	         64-lead bits of the xor
+//	flag 11  new leading-zero count: 3-bit code plus 64-lead bits
+//
+// The four data-dependent modes per value are exactly the control flow
+// whose branch mispredictions ALP's per-vector adaptivity avoids (§1).
+package chimp
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/goalp/alp/internal/bitstream"
+)
+
+// leadingRound rounds a leading-zero count down to one of the eight
+// representable values.
+var leadingRound = [65]uint{}
+
+// leadingRepr maps a rounded leading-zero count to its 3-bit code.
+var leadingRepr = [65]uint64{}
+
+// reprToLeading maps the 3-bit code back to the leading-zero count.
+var reprToLeading = [8]uint{0, 8, 12, 16, 18, 20, 22, 24}
+
+func init() {
+	for lz := 0; lz <= 64; lz++ {
+		r := 0
+		for i, v := range reprToLeading {
+			if uint(lz) >= v {
+				r = i
+			}
+		}
+		leadingRound[lz] = reprToLeading[r]
+		leadingRepr[lz] = uint64(r)
+	}
+}
+
+const chimpThreshold = 6
+
+// Compress encodes src with plain Chimp (previous value as reference).
+func Compress(src []float64) []byte {
+	w := bitstream.NewWriter(len(src) * 8)
+	if len(src) == 0 {
+		return w.Bytes()
+	}
+	prev := math.Float64bits(src[0])
+	w.WriteBits(prev, 64)
+	storedLead := uint(65) // invalid
+	for _, v := range src[1:] {
+		cur := math.Float64bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBits(0, 2) // flag 00
+			storedLead = 65
+			continue
+		}
+		lead := leadingRound[bits.LeadingZeros64(xor)]
+		trail := uint(bits.TrailingZeros64(xor))
+		switch {
+		case trail > chimpThreshold:
+			sig := 64 - lead - trail
+			w.WriteBits(1, 2) // flag 01
+			w.WriteBits(leadingRepr[lead], 3)
+			w.WriteBits(uint64(sig), 6)
+			w.WriteBits(xor>>trail, sig)
+			storedLead = 65
+		case lead == storedLead:
+			w.WriteBits(2, 2) // flag 10
+			w.WriteBits(xor, 64-lead)
+		default:
+			storedLead = lead
+			w.WriteBits(3, 2) // flag 11
+			w.WriteBits(leadingRepr[lead], 3)
+			w.WriteBits(xor, 64-lead)
+		}
+	}
+	return w.Bytes()
+}
+
+// Decompress decodes len(dst) values from a Chimp stream.
+func Decompress(dst []float64, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	r := bitstream.NewReader(data)
+	prev := r.ReadBits(64)
+	dst[0] = math.Float64frombits(prev)
+	var lead uint
+	for i := 1; i < len(dst); i++ {
+		switch r.ReadBits(2) {
+		case 0:
+			// value repeats
+		case 1:
+			lead = reprToLeading[r.ReadBits(3)]
+			sig := uint(r.ReadBits(6))
+			trail := 64 - lead - sig
+			prev ^= r.ReadBits(sig) << trail
+		case 2:
+			prev ^= r.ReadBits(64 - lead)
+		default:
+			lead = reprToLeading[r.ReadBits(3)]
+			prev ^= r.ReadBits(64 - lead)
+		}
+		dst[i] = math.Float64frombits(prev)
+	}
+	return r.Err()
+}

@@ -1,0 +1,125 @@
+package chimp
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/goalp/alp/internal/bitstream"
+)
+
+// Chimp128 parameters: a ring of the 128 previous values, indexed by a
+// hash of the low bits. The threshold grows by log2(128) so a reference
+// is only taken when the trailing zeros repay the 7-bit index.
+const (
+	nPrev     = 128
+	nPrevLog2 = 7
+	threshold = chimpThreshold + nPrevLog2
+	lsbMask   = 1<<(threshold+1) - 1
+)
+
+// CompressN encodes src with Chimp128: each value is XORed against the
+// most recent of the previous 128 values sharing its low bits, when
+// that produces more than `threshold` trailing zeros, else against the
+// immediate predecessor.
+func CompressN(src []float64) []byte {
+	w := bitstream.NewWriter(len(src) * 8)
+	if len(src) == 0 {
+		return w.Bytes()
+	}
+	var stored [nPrev]uint64
+	indices := make([]int, lsbMask+1)
+	for i := range indices {
+		indices[i] = -(nPrev + 1)
+	}
+	first := math.Float64bits(src[0])
+	w.WriteBits(first, 64)
+	stored[0] = first
+	indices[first&lsbMask] = 0
+	storedLead := uint(65)
+
+	for idx := 1; idx < len(src); idx++ {
+		cur := math.Float64bits(src[idx])
+		key := cur & lsbMask
+		var xor uint64
+		var refIdx int
+		var trail uint
+		cand := indices[key]
+		if idx-cand < nPrev && cand >= 0 {
+			tempXor := cur ^ stored[cand%nPrev]
+			trail = uint(bits.TrailingZeros64(tempXor))
+			if trail > threshold {
+				refIdx = cand % nPrev
+				xor = tempXor
+			} else {
+				refIdx = (idx - 1) % nPrev
+				xor = stored[refIdx] ^ cur
+				trail = uint(bits.TrailingZeros64(xor))
+			}
+		} else {
+			refIdx = (idx - 1) % nPrev
+			xor = stored[refIdx] ^ cur
+			trail = uint(bits.TrailingZeros64(xor))
+		}
+
+		if xor == 0 {
+			// flag 00 + 7-bit reference index.
+			w.WriteBits(uint64(refIdx), 2+nPrevLog2)
+			storedLead = 65
+		} else {
+			lead := leadingRound[bits.LeadingZeros64(xor)]
+			switch {
+			case trail > threshold:
+				sig := 64 - lead - trail
+				// flag 01 + 7-bit index + 3-bit lead code + 6-bit count.
+				w.WriteBits(1<<(nPrevLog2+9)|uint64(refIdx)<<9|leadingRepr[lead]<<6|uint64(sig), 2+nPrevLog2+9)
+				w.WriteBits(xor>>trail, sig)
+				storedLead = 65
+			case lead == storedLead:
+				w.WriteBits(2, 2) // flag 10
+				w.WriteBits(xor, 64-lead)
+			default:
+				storedLead = lead
+				w.WriteBits(3, 2) // flag 11
+				w.WriteBits(leadingRepr[lead], 3)
+				w.WriteBits(xor, 64-lead)
+			}
+		}
+		stored[idx%nPrev] = cur
+		indices[key] = idx
+	}
+	return w.Bytes()
+}
+
+// DecompressN decodes len(dst) values from a Chimp128 stream.
+func DecompressN(dst []float64, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	r := bitstream.NewReader(data)
+	var stored [nPrev]uint64
+	first := r.ReadBits(64)
+	dst[0] = math.Float64frombits(first)
+	stored[0] = first
+	var lead uint
+	for i := 1; i < len(dst); i++ {
+		var cur uint64
+		switch r.ReadBits(2) {
+		case 0:
+			cur = stored[r.ReadBits(nPrevLog2)]
+		case 1:
+			refIdx := r.ReadBits(nPrevLog2)
+			lead = reprToLeading[r.ReadBits(3)]
+			sig := uint(r.ReadBits(6))
+			trail := 64 - lead - sig
+			cur = stored[refIdx] ^ r.ReadBits(sig)<<trail
+		case 2:
+			cur = stored[(i-1)%nPrev] ^ r.ReadBits(64-lead)
+		default:
+			lead = reprToLeading[r.ReadBits(3)]
+			cur = stored[(i-1)%nPrev] ^ r.ReadBits(64-lead)
+		}
+		dst[i] = math.Float64frombits(cur)
+		stored[i%nPrev] = cur
+	}
+	return r.Err()
+}

@@ -1,0 +1,205 @@
+package chimp
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/goalp/alp/internal/bitstream"
+)
+
+// 32-bit variants of Chimp and Chimp128 (used in the paper's Table 7
+// comparison on ML weights). The structure is identical, with the
+// leading-zero table and field widths scaled to 32-bit patterns.
+
+var reprToLeading32 = [8]uint{0, 4, 6, 8, 10, 12, 16, 20}
+
+var (
+	leadingRound32 [33]uint
+	leadingRepr32  [33]uint64
+)
+
+func init() {
+	for lz := 0; lz <= 32; lz++ {
+		r := 0
+		for i, v := range reprToLeading32 {
+			if uint(lz) >= v {
+				r = i
+			}
+		}
+		leadingRound32[lz] = reprToLeading32[r]
+		leadingRepr32[lz] = uint64(r)
+	}
+}
+
+// Compress32 encodes float32 values with plain Chimp.
+func Compress32(src []float32) []byte {
+	w := bitstream.NewWriter(len(src) * 4)
+	if len(src) == 0 {
+		return w.Bytes()
+	}
+	prev := math.Float32bits(src[0])
+	w.WriteBits(uint64(prev), 32)
+	storedLead := uint(33)
+	for _, v := range src[1:] {
+		cur := math.Float32bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBits(0, 2)
+			storedLead = 33
+			continue
+		}
+		lead := leadingRound32[bits.LeadingZeros32(xor)]
+		trail := uint(bits.TrailingZeros32(xor))
+		switch {
+		case trail > chimpThreshold:
+			sig := 32 - lead - trail
+			w.WriteBits(1, 2)
+			w.WriteBits(leadingRepr32[lead], 3)
+			w.WriteBits(uint64(sig), 5)
+			w.WriteBits(uint64(xor>>trail), sig)
+			storedLead = 33
+		case lead == storedLead:
+			w.WriteBits(2, 2)
+			w.WriteBits(uint64(xor), 32-lead)
+		default:
+			storedLead = lead
+			w.WriteBits(3, 2)
+			w.WriteBits(leadingRepr32[lead], 3)
+			w.WriteBits(uint64(xor), 32-lead)
+		}
+	}
+	return w.Bytes()
+}
+
+// Decompress32 decodes len(dst) float32 values from a Chimp stream.
+func Decompress32(dst []float32, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	r := bitstream.NewReader(data)
+	prev := uint32(r.ReadBits(32))
+	dst[0] = math.Float32frombits(prev)
+	var lead uint
+	for i := 1; i < len(dst); i++ {
+		switch r.ReadBits(2) {
+		case 0:
+		case 1:
+			lead = reprToLeading32[r.ReadBits(3)]
+			sig := uint(r.ReadBits(5))
+			trail := 32 - lead - sig
+			prev ^= uint32(r.ReadBits(sig)) << trail
+		case 2:
+			prev ^= uint32(r.ReadBits(32 - lead))
+		default:
+			lead = reprToLeading32[r.ReadBits(3)]
+			prev ^= uint32(r.ReadBits(32 - lead))
+		}
+		dst[i] = math.Float32frombits(prev)
+	}
+	return r.Err()
+}
+
+const threshold32 = chimpThreshold + nPrevLog2
+
+// CompressN32 encodes float32 values with Chimp128.
+func CompressN32(src []float32) []byte {
+	w := bitstream.NewWriter(len(src) * 4)
+	if len(src) == 0 {
+		return w.Bytes()
+	}
+	var stored [nPrev]uint32
+	indices := make([]int, lsbMask+1)
+	for i := range indices {
+		indices[i] = -(nPrev + 1)
+	}
+	first := math.Float32bits(src[0])
+	w.WriteBits(uint64(first), 32)
+	stored[0] = first
+	indices[uint64(first)&lsbMask] = 0
+	storedLead := uint(33)
+
+	for idx := 1; idx < len(src); idx++ {
+		cur := math.Float32bits(src[idx])
+		key := uint64(cur) & lsbMask
+		var xor uint32
+		var refIdx int
+		var trail uint
+		cand := indices[key]
+		if idx-cand < nPrev && cand >= 0 {
+			tempXor := cur ^ stored[cand%nPrev]
+			trail = uint(bits.TrailingZeros32(tempXor))
+			if trail > threshold32 {
+				refIdx = cand % nPrev
+				xor = tempXor
+			} else {
+				refIdx = (idx - 1) % nPrev
+				xor = stored[refIdx] ^ cur
+				trail = uint(bits.TrailingZeros32(xor))
+			}
+		} else {
+			refIdx = (idx - 1) % nPrev
+			xor = stored[refIdx] ^ cur
+			trail = uint(bits.TrailingZeros32(xor))
+		}
+
+		if xor == 0 {
+			w.WriteBits(uint64(refIdx), 2+nPrevLog2)
+			storedLead = 33
+		} else {
+			lead := leadingRound32[bits.LeadingZeros32(xor)]
+			switch {
+			case trail > threshold32:
+				sig := 32 - lead - trail
+				w.WriteBits(1<<(nPrevLog2+8)|uint64(refIdx)<<8|leadingRepr32[lead]<<5|uint64(sig), 2+nPrevLog2+8)
+				w.WriteBits(uint64(xor>>trail), sig)
+				storedLead = 33
+			case lead == storedLead:
+				w.WriteBits(2, 2)
+				w.WriteBits(uint64(xor), 32-lead)
+			default:
+				storedLead = lead
+				w.WriteBits(3, 2)
+				w.WriteBits(leadingRepr32[lead], 3)
+				w.WriteBits(uint64(xor), 32-lead)
+			}
+		}
+		stored[idx%nPrev] = cur
+		indices[key] = idx
+	}
+	return w.Bytes()
+}
+
+// DecompressN32 decodes len(dst) float32 values from a Chimp128 stream.
+func DecompressN32(dst []float32, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	r := bitstream.NewReader(data)
+	var stored [nPrev]uint32
+	first := uint32(r.ReadBits(32))
+	dst[0] = math.Float32frombits(first)
+	stored[0] = first
+	var lead uint
+	for i := 1; i < len(dst); i++ {
+		var cur uint32
+		switch r.ReadBits(2) {
+		case 0:
+			cur = stored[r.ReadBits(nPrevLog2)]
+		case 1:
+			refIdx := r.ReadBits(nPrevLog2)
+			lead = reprToLeading32[r.ReadBits(3)]
+			sig := uint(r.ReadBits(5))
+			trail := 32 - lead - sig
+			cur = stored[refIdx] ^ uint32(r.ReadBits(sig))<<trail
+		case 2:
+			cur = stored[(i-1)%nPrev] ^ uint32(r.ReadBits(32-lead))
+		default:
+			lead = reprToLeading32[r.ReadBits(3)]
+			cur = stored[(i-1)%nPrev] ^ uint32(r.ReadBits(32-lead))
+		}
+		dst[i] = math.Float32frombits(cur)
+		stored[i%nPrev] = cur
+	}
+	return r.Err()
+}

@@ -1,0 +1,201 @@
+package chimp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkRT(t *testing.T, src []float64, comp func([]float64) []byte, decomp func([]float64, []byte) error) []byte {
+	t.Helper()
+	data := comp(src)
+	got := make([]float64, len(src))
+	if err := decomp(got, data); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v (%#x), want %v (%#x)",
+				i, got[i], math.Float64bits(got[i]), src[i], math.Float64bits(src[i]))
+		}
+	}
+	return data
+}
+
+func specials() []float64 {
+	return []float64{
+		0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -math.Pi, 1.5, 1.5,
+	}
+}
+
+func TestLeadingTables(t *testing.T) {
+	if leadingRound[0] != 0 || leadingRound[9] != 8 || leadingRound[64] != 24 {
+		t.Fatalf("leadingRound wrong: %d %d %d", leadingRound[0], leadingRound[9], leadingRound[64])
+	}
+	for lz := 0; lz <= 64; lz++ {
+		if reprToLeading[leadingRepr[lz]] != leadingRound[lz] {
+			t.Fatalf("repr tables inconsistent at %d", lz)
+		}
+	}
+}
+
+func TestChimpRoundTrip(t *testing.T) {
+	checkRT(t, []float64{1.0, 1.0, 1.5, 2.5, 100.25, -3.75}, Compress, Decompress)
+	checkRT(t, nil, Compress, Decompress)
+	checkRT(t, []float64{42.5}, Compress, Decompress)
+	checkRT(t, specials(), Compress, Decompress)
+}
+
+func TestChimp128RoundTrip(t *testing.T) {
+	checkRT(t, []float64{1.0, 1.0, 1.5, 2.5, 100.25, -3.75}, CompressN, DecompressN)
+	checkRT(t, nil, CompressN, DecompressN)
+	checkRT(t, []float64{42.5}, CompressN, DecompressN)
+	checkRT(t, specials(), CompressN, DecompressN)
+}
+
+func TestChimp128FindsDistantReferences(t *testing.T) {
+	// A periodic series repeating every 50 values: Chimp128 should find
+	// the exact match 50 positions back and beat plain Chimp clearly.
+	// Full-entropy mantissas keep the low-bits hash discriminating.
+	r := rand.New(rand.NewSource(7))
+	period := make([]float64, 50)
+	for i := range period {
+		period[i] = 100 + r.Float64()
+	}
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = period[i%50]
+	}
+	dataN := checkRT(t, src, CompressN, DecompressN)
+	data1 := checkRT(t, src, Compress, Decompress)
+	if len(dataN) >= len(data1) {
+		t.Fatalf("Chimp128 (%d bytes) should beat Chimp (%d bytes) on periodic data", len(dataN), len(data1))
+	}
+	bits := float64(len(dataN)*8) / float64(len(src))
+	if bits > 16 {
+		t.Fatalf("Chimp128 got %.1f bits/value on periodic data, want far below raw", bits)
+	}
+}
+
+func TestChimpCompressesSimilarValues(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 4096)
+	v := 50.0
+	for i := range src {
+		v += math.Round(r.NormFloat64()*5) / 10
+		src[i] = v
+	}
+	data := checkRT(t, src, Compress, Decompress)
+	bits := float64(len(data)*8) / float64(len(src))
+	if bits >= 64 {
+		t.Fatalf("no compression: %.1f bits/value", bits)
+	}
+}
+
+func TestQuickChimp(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChimp128(t *testing.T) {
+	f := func(raw []uint64, dups []uint16) bool {
+		// Mix arbitrary values with duplicates of earlier values so the
+		// reference-index paths are exercised.
+		src := make([]float64, 0, len(raw)+len(dups))
+		for _, b := range raw {
+			src = append(src, math.Float64frombits(b))
+		}
+		for _, d := range dups {
+			if len(src) == 0 {
+				break
+			}
+			src = append(src, src[int(d)%len(src)])
+		}
+		data := CompressN(src)
+		got := make([]float64, len(src))
+		if err := DecompressN(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChimp32(t *testing.T) {
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b)
+		}
+		data := Compress32(src)
+		got := make([]float32, len(src))
+		if err := Decompress32(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChimp128_32(t *testing.T) {
+	f := func(raw []uint32, dups []uint16) bool {
+		src := make([]float32, 0, len(raw)+len(dups))
+		for _, b := range raw {
+			src = append(src, math.Float32frombits(b))
+		}
+		for _, d := range dups {
+			if len(src) == 0 {
+				break
+			}
+			src = append(src, src[int(d)%len(src)])
+		}
+		data := CompressN32(src)
+		got := make([]float32, len(src))
+		if err := DecompressN32(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 30 {
+		t.Fatalf("registry has %d datasets, want 30", len(all))
+	}
+	ts := 0
+	names := make(map[string]bool)
+	for _, d := range all {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset name %q", d.Name)
+		}
+		names[d.Name] = true
+		if d.TimeSeries {
+			ts++
+		}
+	}
+	if ts != 13 {
+		t.Fatalf("%d time series datasets, want 13 (Table 1)", ts)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, ok := ByName("City-Temp")
+	if !ok {
+		t.Fatal("City-Temp missing")
+	}
+	a := d.Generate(2048)
+	b := d.Generate(2048)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("generation is not deterministic at %d", i)
+		}
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName must fail for unknown names")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	cases := []struct {
+		v    float64
+		p    int
+		want float64
+	}{
+		{8.06051, 4, 8.0605}, {1.25, 1, 1.3}, {-3.14159, 2, -3.14}, {7, 0, 7},
+	}
+	for _, c := range cases {
+		if got := quantize(c.v, c.p); got != c.want {
+			t.Errorf("quantize(%v, %d) = %v, want %v", c.v, c.p, got, c.want)
+		}
+	}
+}
+
+func TestDecimalPrecision(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{8.0605, 4}, {5, 0}, {0.001, 3}, {-2.5, 1}, {123000, 0}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := DecimalPrecision(c.v); got != c.want {
+			t.Errorf("DecimalPrecision(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if DecimalPrecision(math.NaN()) != -1 {
+		t.Error("NaN must report -1")
+	}
+}
+
+// TestFingerprints spot-checks that the generated datasets reproduce
+// the Table 2 properties that drive compression behaviour.
+func TestFingerprints(t *testing.T) {
+	check := func(name string, f func(s Stats)) {
+		d, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		f(Analyze(name, d.Generate(40960)))
+	}
+
+	check("City-Temp", func(s Stats) {
+		if s.PrecMax > 1 || s.PrecAvg < 0.5 || s.PrecAvg > 1 {
+			t.Errorf("City-Temp precision: max %d avg %.2f, want max 1 avg ~0.9", s.PrecMax, s.PrecAvg)
+		}
+	})
+	check("CMS/9", func(s Stats) {
+		if s.PrecAvg != 0 {
+			t.Errorf("CMS/9 must be integers, got precision avg %.2f", s.PrecAvg)
+		}
+		if s.SuccessBestE < 99 {
+			t.Errorf("CMS/9 integers must encode near-perfectly, got %.1f%%", s.SuccessBestE)
+		}
+	})
+	check("Gov/26", func(s Stats) {
+		if s.NonUniquePct < 95 {
+			t.Errorf("Gov/26 duplicates %.1f%%, want ~99.5%%", s.NonUniquePct)
+		}
+		if s.ExpAvg > 60 {
+			t.Errorf("Gov/26 exponent avg %.1f, want near zero (mostly exact zeros)", s.ExpAvg)
+		}
+	})
+	check("POI-lat", func(s Stats) {
+		if s.PrecMax < 15 {
+			t.Errorf("POI-lat max precision %d, want >= 15 (real doubles)", s.PrecMax)
+		}
+		if s.SuccessPerVector > 90 {
+			t.Errorf("POI-lat per-vector success %.1f%%, want low (hard data)", s.SuccessPerVector)
+		}
+		if s.XORLeadAvg > 20 {
+			t.Errorf("POI-lat XOR leading zeros %.1f, want low", s.XORLeadAvg)
+		}
+	})
+	check("Air-Pressure", func(s Stats) {
+		if s.ExpStd > 1 {
+			t.Errorf("Air-Pressure exponent std %.2f, want ~0 (tight range)", s.ExpStd)
+		}
+		if s.SuccessPerVector < 95 {
+			t.Errorf("Air-Pressure per-vector success %.1f%%, want ~99%%", s.SuccessPerVector)
+		}
+	})
+	check("Stocks-USA", func(s Stats) {
+		if s.NonUniquePct < 70 {
+			t.Errorf("Stocks-USA duplicates %.1f%%, want ~91%%", s.NonUniquePct)
+		}
+		if s.PrecMax > 2 {
+			t.Errorf("Stocks-USA precision max %d, want 2", s.PrecMax)
+		}
+	})
+	check("NYC/29", func(s Stats) {
+		if s.PrecAvg < 10 {
+			t.Errorf("NYC/29 precision avg %.1f, want ~12.9", s.PrecAvg)
+		}
+		if s.ValueAvg > -70 || s.ValueAvg < -78 {
+			t.Errorf("NYC/29 value avg %.1f, want ~-73.9", s.ValueAvg)
+		}
+	})
+}
+
+// TestHighExponentsBeatVisible reproduces the paper's §2.5 finding: a
+// single high exponent per dataset succeeds more often than using each
+// value's visible precision.
+func TestHighExponentsBeatVisible(t *testing.T) {
+	d, _ := ByName("Basel-temp")
+	s := Analyze("Basel-temp", d.Generate(20480))
+	if s.SuccessBestE < s.SuccessVisible {
+		t.Errorf("best single e (%.1f%%) must beat visible precision (%.1f%%)", s.SuccessBestE, s.SuccessVisible)
+	}
+	if s.BestE < 10 {
+		t.Errorf("best exponent %d, want a high exponent (paper: 14)", s.BestE)
+	}
+}
+
+func TestWeights32(t *testing.T) {
+	w := Weights32(newRand(1), 8192)
+	if len(w) != 8192 {
+		t.Fatalf("got %d values", len(w))
+	}
+	var nonZero int
+	for _, v := range w {
+		if v != 0 {
+			nonZero++
+		}
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("weights must be finite")
+		}
+	}
+	if nonZero < 8000 {
+		t.Fatalf("only %d non-zero weights", nonZero)
+	}
+}

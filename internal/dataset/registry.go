@@ -1,0 +1,146 @@
+package dataset
+
+import "math/rand"
+
+// Dataset is one synthesized evaluation dataset.
+type Dataset struct {
+	Name       string
+	Semantics  string
+	TimeSeries bool
+	// RD marks the datasets the paper reports as falling back to ALP_rd.
+	RD  bool
+	gen func(r *rand.Rand, n int) []float64
+}
+
+// DefaultN is the default number of values generated per dataset: two
+// full row-groups, enough to exercise both sampling levels and give
+// stable ratios while keeping full-suite experiments fast. The
+// end-to-end experiments scale up by concatenation, as the paper does.
+const DefaultN = 204800
+
+// Generate produces n values. Generation is deterministic per dataset
+// name, so repeated runs and benchmarks see identical data.
+func (d Dataset) Generate(n int) []float64 {
+	seed := int64(0)
+	for _, c := range d.Name {
+		seed = seed*131 + int64(c)
+	}
+	return d.gen(rand.New(rand.NewSource(seed)), n)
+}
+
+// ByName returns the dataset with the given name.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// All returns the 30 datasets in the order of Table 1/2. Each spec is
+// matched to the dataset's Table 2 fingerprint: decimal precision
+// (C2-C5), per-vector magnitude (C7-C8), duplicate fraction (C6),
+// exponent distribution (C9-C10, which for the Gov columns encodes the
+// fraction of exact zeros) and the time-series property.
+func All() []Dataset {
+	return []Dataset{
+		// ---- time series ----
+		{Name: "Air-Pressure", Semantics: "Barometric Pressure (kPa)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 5, precAvg: 4.9, precStd: 0.3,
+				base: 93.4, spread: 0.05, drift: 0.002, dupFrac: 0.747, walk: true}.generate},
+		{Name: "Basel-temp", Semantics: "Temperature (C)", TimeSeries: true,
+			gen: genSpec{precMin: 5, precMax: 11, precAvg: 6.3, precStd: 0.4,
+				base: 11.4, spread: 1.0, drift: 0.2, dupFrac: 0.262, negative: true, walk: true}.generate},
+		{Name: "Basel-wind", Semantics: "Wind Speed (km/h)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 8, precAvg: 6.1, precStd: 1.2,
+				base: 7.1, spread: 1.5, drift: 0.15, dupFrac: 0.618, walk: true}.generate},
+		{Name: "Bird-migration", Semantics: "Coordinates (lat, lon)", TimeSeries: true,
+			gen: genSpec{precMin: 1, precMax: 5, precAvg: 4.5, precStd: 0.8,
+				base: 26.6, spread: 1.2, drift: 0.05, dupFrac: 0.559, walk: true}.generate},
+		{Name: "Bitcoin-price", Semantics: "Exchange Rate (BTC-USD)", TimeSeries: true,
+			gen: genSpec{precMin: 1, precMax: 4, precAvg: 3.9, precStd: 0.4,
+				base: 19187.5, spread: 120, drift: 25, walk: true}.generate},
+		{Name: "City-Temp", Semantics: "Temperature (F)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 1, precAvg: 0.9, precStd: 0.3,
+				base: 56.0, spread: 6, drift: 0.4, dupFrac: 0.603, negative: true, walk: true}.generate},
+		{Name: "Dew-Point-Temp", Semantics: "Temperature (C)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 3, precAvg: 2.8, precStd: 0.3,
+				base: 14.4, spread: 0.5, drift: 0.05, dupFrac: 0.193, negative: true, walk: true}.generate},
+		{Name: "IR-bio-temp", Semantics: "Temperature (C)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 1.9, precStd: 0.3,
+				base: 12.7, spread: 1.5, drift: 0.1, dupFrac: 0.491, negative: true, walk: true}.generate},
+		{Name: "PM10-dust", Semantics: "Dust content (mg/m3)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 3, precAvg: 2.8, precStd: 0.2,
+				base: 1.5, spread: 0.3, drift: 0.01, dupFrac: 0.937, walk: true}.generate},
+		{Name: "Stocks-DE", Semantics: "Monetary (stocks)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 3, precAvg: 2.4, precStd: 0.5,
+				base: 63.8, spread: 0.8, drift: 0.05, dupFrac: 0.892, walk: true}.generate},
+		{Name: "Stocks-UK", Semantics: "Monetary (stocks)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 1.2, precStd: 0.6,
+				base: 1593.7, spread: 20, drift: 2, dupFrac: 0.881, walk: true}.generate},
+		{Name: "Stocks-USA", Semantics: "Monetary (stocks)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 1.9, precStd: 0.4,
+				base: 146.1, spread: 1.5, drift: 0.1, dupFrac: 0.915, walk: true}.generate},
+		{Name: "Wind-dir", Semantics: "Angle (0-360)", TimeSeries: true,
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 1.9, precStd: 0.3,
+				base: 192.4, spread: 70, drift: 2, dupFrac: 0.039, walk: true}.generate},
+
+		// ---- non time series ----
+		{Name: "Arade/4", Semantics: "Energy",
+			gen: genSpec{precMin: 0, precMax: 4, precAvg: 3.5, precStd: 0.6,
+				base: 738.4, spread: 380, dupFrac: 0.002}.generate},
+		{Name: "Blockchain-tr", Semantics: "Monetary (BTC)",
+			gen: func(r *rand.Rand, n int) []float64 {
+				return heavyTailed(r, n, 5.0, 3.0, 3.8, 0.6, 4, 0.006)
+			}},
+		{Name: "CMS/1", Semantics: "Monetary avg (USD)",
+			gen: genSpec{precMin: 0, precMax: 10, precAvg: 4.0, precStd: 2.8,
+				base: 97.0, spread: 105, dupFrac: 0.547}.generate},
+		{Name: "CMS/25", Semantics: "Monetary std dev (USD)",
+			gen: genSpec{precMin: 0, precMax: 10, precAvg: 9.1, precStd: 1.9,
+				base: 12.6, spread: 18, dupFrac: 0.057}.generate},
+		{Name: "CMS/9", Semantics: "Discrete count",
+			gen: genSpec{precMin: 0, precMax: 1, precAvg: 0, precStd: 0,
+				base: 235.7, spread: 850, dupFrac: 0.715}.generate},
+		{Name: "Food-prices", Semantics: "Monetary (USD)",
+			gen: func(r *rand.Rand, n int) []float64 {
+				return heavyTailed(r, n, 6.0, 2.2, 1.1, 1.1, 4, 0.525)
+			}},
+		{Name: "Gov/10", Semantics: "Monetary (USD)",
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 1.0, precStd: 0.8,
+				base: 240153, spread: 500000, dupFrac: 0.261, zeroFrac: 0.15}.generate},
+		{Name: "Gov/26", Semantics: "Monetary (USD)",
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 0, precStd: 0.1,
+				base: 442.3, spread: 8000, dupFrac: 0.2, zeroFrac: 0.995}.generate},
+		{Name: "Gov/30", Semantics: "Monetary (USD)",
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 0.1, precStd: 0.3,
+				base: 10998, spread: 90000, dupFrac: 0.2, zeroFrac: 0.888}.generate},
+		{Name: "Gov/31", Semantics: "Monetary (USD)",
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 0.1, precStd: 0.1,
+				base: 893.2, spread: 6000, dupFrac: 0.2, zeroFrac: 0.932}.generate},
+		{Name: "Gov/40", Semantics: "Monetary (USD)",
+			gen: genSpec{precMin: 0, precMax: 2, precAvg: 0, precStd: 0.05,
+				base: 791.4, spread: 6500, dupFrac: 0.2, zeroFrac: 0.988}.generate},
+		{Name: "Medicare/1", Semantics: "Monetary avg (USD)",
+			gen: genSpec{precMin: 0, precMax: 10, precAvg: 4.0, precStd: 2.9,
+				base: 97.0, spread: 140, dupFrac: 0.413}.generate},
+		{Name: "Medicare/9", Semantics: "Discrete count",
+			gen: genSpec{precMin: 0, precMax: 1, precAvg: 0, precStd: 0,
+				base: 235.7, spread: 950, dupFrac: 0.706}.generate},
+		{Name: "NYC/29", Semantics: "Coordinates (lon)",
+			gen: genSpec{precMin: 0, precMax: 13, precAvg: 12.9, precStd: 0.3,
+				base: -73.9, spread: 0.04, dupFrac: 0.51, negative: true}.generate},
+		{Name: "POI-lat", Semantics: "Coordinates (lat, radians)", RD: true,
+			gen: func(r *rand.Rand, n int) []float64 {
+				return realDoubles(r, n, -85, 85, 3.14159265358979323846/180)
+			}},
+		{Name: "POI-lon", Semantics: "Coordinates (lon, radians)", RD: true,
+			gen: func(r *rand.Rand, n int) []float64 {
+				return realDoubles(r, n, -180, 180, 3.14159265358979323846/180)
+			}},
+		{Name: "SD-bench", Semantics: "Storage capacity (GB)",
+			gen: genSpec{precMin: 0, precMax: 1, precAvg: 0.9, precStd: 0.2,
+				base: 446.0, spread: 450, dupFrac: 0.924}.generate},
+	}
+}

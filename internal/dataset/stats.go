@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Stats holds the Table 2 metrics (columns C2-C15) recomputed on a
+// dataset.
+type Stats struct {
+	Name string
+
+	PrecMax, PrecMin int     // C2, C3
+	PrecAvg          float64 // C4
+	PrecStd          float64 // C5: mean per-vector precision std dev
+
+	NonUniquePct float64 // C6: mean per-vector fraction of non-unique values
+	ValueAvg     float64 // C7
+	ValueStd     float64 // C8: mean per-vector value std dev
+
+	ExpAvg float64 // C9: mean per-vector IEEE exponent
+	ExpStd float64 // C10: mean per-vector exponent std dev
+
+	SuccessVisible   float64 // C11: P_enc/P_dec success with visible precision as e
+	BestE            int     // C12: single best exponent for the dataset
+	SuccessBestE     float64 // C12: its success rate
+	SuccessPerVector float64 // C13: success with per-vector best exponent
+
+	XORLeadAvg  float64 // C14: mean leading zero bits of XOR with previous
+	XORTrailAvg float64 // C15: mean trailing zero bits
+}
+
+const statsMaxExp = 22
+
+var statsF10 = pow10
+
+var statsIF10 = [23]float64{
+	1e0, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11,
+	1e-12, 1e-13, 1e-14, 1e-15, 1e-16, 1e-17, 1e-18, 1e-19, 1e-20, 1e-21, 1e-22,
+}
+
+// DecimalPrecision returns the number of decimal digits after the point
+// in v's shortest round-tripping representation, or -1 for NaN/Inf.
+func DecimalPrecision(v float64) int {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	s := strconv.FormatFloat(v, 'e', -1, 64)
+	ei := strings.IndexByte(s, 'e')
+	if ei < 0 {
+		return -1
+	}
+	mant := s[:ei]
+	if mant[0] == '-' {
+		mant = mant[1:]
+	}
+	mantDigits := 0
+	if dot := strings.IndexByte(mant, '.'); dot >= 0 {
+		mantDigits = len(mant) - dot - 1
+	}
+	exp, err := strconv.Atoi(s[ei+1:])
+	if err != nil {
+		return -1
+	}
+	if a := mantDigits - exp; a > 0 {
+		return a
+	}
+	return 0
+}
+
+// pencSuccess reports whether the paper's P_enc/P_dec procedures with
+// exponent e recover v bit-exactly: d = round(v*10^e), back = d*10^-e.
+func pencSuccess(v float64, e int) bool {
+	scaled := v * statsF10[e]
+	if math.IsNaN(scaled) || math.IsInf(scaled, 0) {
+		return false
+	}
+	// Note: no 2^53 cap. Beyond it the rounding inside the multiplication
+	// discards low bits, yet P_dec can still recover the original (the
+	// discarded bits were below double precision); the paper's C12 results
+	// (e=14 even on ~100-magnitude data) rely on exactly this.
+	d := math.Round(scaled)
+	return math.Float64bits(d*statsIF10[e]) == math.Float64bits(v)
+}
+
+// Analyze computes the Table 2 metrics for values.
+func Analyze(name string, values []float64) Stats {
+	s := Stats{Name: name, PrecMax: 0, PrecMin: 99}
+
+	nv := vector.VectorsIn(len(values))
+	var precSum, precStdSum, nonUniqueSum float64
+	var valAvgSum, valStdSum, expAvgSum, expStdSum float64
+	var visibleOK, perVecOK int
+	singleOK := make([]int, statsMaxExp+1)
+	var leadSum, trailSum float64
+	var xorCount int
+
+	total := 0
+	for vi := 0; vi < nv; vi++ {
+		lo, hi := vector.Bounds(vi, len(values))
+		vec := values[lo:hi]
+		n := len(vec)
+		total += n
+
+		// Precision stats.
+		var pSum, pSq float64
+		for _, v := range vec {
+			p := DecimalPrecision(v)
+			if p < 0 {
+				p = 0
+			}
+			if p > s.PrecMax {
+				s.PrecMax = p
+			}
+			if p < s.PrecMin {
+				s.PrecMin = p
+			}
+			pSum += float64(p)
+			pSq += float64(p) * float64(p)
+		}
+		mean := pSum / float64(n)
+		precSum += pSum
+		precStdSum += math.Sqrt(math.Max(0, pSq/float64(n)-mean*mean))
+
+		// Uniqueness, value and exponent stats.
+		seen := make(map[uint64]int, n)
+		var vSum, vSq, eSum, eSq float64
+		for _, v := range vec {
+			b := math.Float64bits(v)
+			seen[b]++
+			vSum += v
+			vSq += v * v
+			exp := float64(b >> 52 & 0x7ff)
+			eSum += exp
+			eSq += exp * exp
+		}
+		nonUnique := 0
+		for _, c := range seen {
+			if c > 1 {
+				nonUnique += c
+			}
+		}
+		nonUniqueSum += float64(nonUnique) / float64(n)
+		vMean := vSum / float64(n)
+		valAvgSum += vMean
+		valStdSum += math.Sqrt(math.Max(0, vSq/float64(n)-vMean*vMean))
+		eMean := eSum / float64(n)
+		expAvgSum += eMean
+		expStdSum += math.Sqrt(math.Max(0, eSq/float64(n)-eMean*eMean))
+
+		// P_enc/P_dec success rates.
+		vecSingle := make([]int, statsMaxExp+1)
+		for _, v := range vec {
+			p := DecimalPrecision(v)
+			if p >= 0 && p <= statsMaxExp && pencSuccess(v, p) {
+				visibleOK++
+			}
+			for e := 0; e <= statsMaxExp; e++ {
+				if pencSuccess(v, e) {
+					vecSingle[e]++
+				}
+			}
+		}
+		bestVec := 0
+		for e, c := range vecSingle {
+			singleOK[e] += c
+			if c > vecSingle[bestVec] || (c == vecSingle[bestVec] && e > bestVec) {
+				bestVec = e
+			}
+		}
+		perVecOK += vecSingle[bestVec]
+
+		// XOR with previous value.
+		for i := 1; i < n; i++ {
+			x := math.Float64bits(vec[i]) ^ math.Float64bits(vec[i-1])
+			if x == 0 {
+				leadSum += 64
+				trailSum += 64
+			} else {
+				leadSum += float64(bits.LeadingZeros64(x))
+				trailSum += float64(bits.TrailingZeros64(x))
+			}
+			xorCount++
+		}
+	}
+
+	if total == 0 {
+		return s
+	}
+	fn := float64(total)
+	s.PrecAvg = precSum / fn
+	s.PrecStd = precStdSum / float64(nv)
+	s.NonUniquePct = 100 * nonUniqueSum / float64(nv)
+	s.ValueAvg = valAvgSum / float64(nv)
+	s.ValueStd = valStdSum / float64(nv)
+	s.ExpAvg = expAvgSum / float64(nv)
+	s.ExpStd = expStdSum / float64(nv)
+	s.SuccessVisible = 100 * float64(visibleOK) / fn
+	for e, c := range singleOK {
+		if c > singleOK[s.BestE] || (c == singleOK[s.BestE] && e > s.BestE) {
+			s.BestE = e
+		}
+	}
+	s.SuccessBestE = 100 * float64(singleOK[s.BestE]) / fn
+	s.SuccessPerVector = 100 * float64(perVecOK) / fn
+	if xorCount > 0 {
+		s.XORLeadAvg = leadSum / float64(xorCount)
+		s.XORTrailAvg = trailSum / float64(xorCount)
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+// Package elf implements Elf (Li et al., VLDB'23), the erasing-based
+// XOR scheme: before XOR-encoding, each value's trailing mantissa bits
+// that are not needed to reconstruct its visible decimal representation
+// are erased (set to zero), making the XOR residuals far more
+// compressible. Decoding restores the erased bits by re-rounding the
+// value to its recorded decimal precision.
+//
+// Per value the stream carries a 1-bit erased flag (plus a 4-bit decimal
+// precision α when set), followed by the Gorilla-style XOR encoding of
+// the (possibly erased) bit pattern. The decimal analysis makes Elf the
+// slowest codec in the study — in exchange for the best XOR-family
+// compression ratio — and this implementation inherits exactly that
+// trade-off.
+package elf
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"github.com/goalp/alp/internal/bitstream"
+)
+
+// maxAlpha is the largest decimal precision representable in the 4-bit
+// α field; values needing more precision are stored unerased.
+const maxAlpha = 15
+
+// log2of10 is used to convert decimal precision to binary precision.
+var log2of10 = math.Log2(10)
+
+// alpha returns the number of decimal digits after the point in v's
+// shortest round-tripping decimal representation, or -1 when it cannot
+// be determined (NaN, Inf).
+func alpha(v float64) int {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	s := strconv.FormatFloat(v, 'e', -1, 64) // [-]d[.ddd]e±dd
+	ei := strings.IndexByte(s, 'e')
+	if ei < 0 {
+		return -1
+	}
+	mant := s[:ei]
+	if mant[0] == '-' {
+		mant = mant[1:]
+	}
+	mantDigits := 0
+	if dot := strings.IndexByte(mant, '.'); dot >= 0 {
+		mantDigits = len(mant) - dot - 1
+	}
+	exp, err := strconv.Atoi(s[ei+1:])
+	if err != nil {
+		return -1
+	}
+	a := mantDigits - exp
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// recover re-rounds the erased value to α decimal places, yielding the
+// original double when the erasure respected α's precision.
+func recover(erased float64, a int) float64 {
+	s := strconv.FormatFloat(erased, 'f', a, 64)
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// erase zeroes the trailing mantissa bits of v that are redundant given
+// α decimal places, verifying recoverability. It returns the erased bit
+// pattern and whether erasing succeeded (and is worthwhile).
+func erase(v float64, a int) (uint64, bool) {
+	vb := math.Float64bits(v)
+	e := int(vb>>52&0x7ff) - 1023 // unbiased binary exponent
+	g := 52 - e - int(math.Ceil(float64(a)*log2of10)) - 1
+	if g > 52 {
+		g = 52
+	}
+	// Erasing fewer than 5 bits cannot repay the 4-bit α field.
+	for ; g >= 5; g-- {
+		erased := vb &^ (1<<uint(g) - 1)
+		if recover(math.Float64frombits(erased), a) == v {
+			return erased, true
+		}
+	}
+	return vb, false
+}
+
+// Compress encodes src and returns the bit stream.
+func Compress(src []float64) []byte {
+	w := bitstream.NewWriter(len(src) * 8)
+	var prev uint64
+	prevLead, prevTrail := ^uint(0), uint(0)
+	for i, v := range src {
+		pattern := math.Float64bits(v)
+		if a := alpha(v); a >= 0 && a <= maxAlpha {
+			if erased, ok := erase(v, a); ok {
+				w.WriteBit(1)
+				w.WriteBits(uint64(a), 4)
+				pattern = erased
+			} else {
+				w.WriteBit(0)
+			}
+		} else {
+			w.WriteBit(0)
+		}
+
+		if i == 0 {
+			w.WriteBits(pattern, 64)
+			prev = pattern
+			continue
+		}
+		// Gorilla-style XOR chain over the erased patterns.
+		xor := pattern ^ prev
+		prev = pattern
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > 31 {
+			lead = 31
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		if prevLead != ^uint(0) && lead >= prevLead && trail >= prevTrail {
+			w.WriteBit(0)
+			w.WriteBits(xor>>prevTrail, 64-prevLead-prevTrail)
+		} else {
+			w.WriteBit(1)
+			w.WriteBits(uint64(lead), 5)
+			meaningful := 64 - lead - trail
+			w.WriteBits(uint64(meaningful-1), 6)
+			w.WriteBits(xor>>trail, meaningful)
+			prevLead, prevTrail = lead, trail
+		}
+	}
+	return w.Bytes()
+}
+
+// Decompress decodes len(dst) values from data into dst.
+func Decompress(dst []float64, data []byte) error {
+	r := bitstream.NewReader(data)
+	var prev uint64
+	var lead, trail uint
+	for i := range dst {
+		erased := r.ReadBit() == 1
+		a := 0
+		if erased {
+			a = int(r.ReadBits(4))
+		}
+		var pattern uint64
+		if i == 0 {
+			pattern = r.ReadBits(64)
+		} else {
+			pattern = prev
+			if r.ReadBit() == 1 {
+				if r.ReadBit() == 0 {
+					meaningful := 64 - lead - trail
+					pattern ^= r.ReadBits(meaningful) << trail
+				} else {
+					lead = uint(r.ReadBits(5))
+					meaningful := uint(r.ReadBits(6)) + 1
+					trail = 64 - lead - meaningful
+					pattern ^= r.ReadBits(meaningful) << trail
+				}
+			}
+		}
+		prev = pattern
+		v := math.Float64frombits(pattern)
+		if erased {
+			v = recover(v, a)
+		}
+		dst[i] = v
+	}
+	return r.Err()
+}

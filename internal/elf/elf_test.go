@@ -1,0 +1,130 @@
+package elf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlpha(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{8.0605, 4}, {0.0001, 4}, {1.4297546, 7}, {5, 0}, {123000, 0},
+		{0.0000005, 7}, {-2.5, 1}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := alpha(c.v); got != c.want {
+			t.Errorf("alpha(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if alpha(math.NaN()) != -1 || alpha(math.Inf(1)) != -1 {
+		t.Error("alpha must reject NaN/Inf")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	v := 8.0605
+	erased, ok := erase(v, 4)
+	if !ok {
+		t.Fatal("erase(8.0605, 4) failed")
+	}
+	if erased == math.Float64bits(v) {
+		t.Fatal("erase changed nothing")
+	}
+	if got := recover(math.Float64frombits(erased), 4); math.Float64bits(got) != math.Float64bits(v) {
+		t.Fatalf("recover = %v, want %v", got, v)
+	}
+}
+
+func roundTrip(t *testing.T, src []float64) []byte {
+	t.Helper()
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v (%#x), want %v (%#x)",
+				i, got[i], math.Float64bits(got[i]), src[i], math.Float64bits(src[i]))
+		}
+	}
+	return data
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []float64{8.0605, 8.0605, 1.5, 2.25, 100.1, -3.7})
+	roundTrip(t, nil)
+	roundTrip(t, []float64{42.5})
+	roundTrip(t, []float64{
+		0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -math.Pi,
+	})
+}
+
+func TestErasingBeatsPlainXOROnDecimals(t *testing.T) {
+	// Low-precision decimals with varying values: erasing zeroes most of
+	// the mantissa, so the ratio must be far below 64 bits/value even
+	// though consecutive values differ.
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = float64(r.Intn(2000)-1000) / 10 // one decimal, wide range
+	}
+	data := roundTrip(t, src)
+	bits := float64(len(data)*8) / float64(len(src))
+	if bits > 32 {
+		t.Fatalf("Elf got %.1f bits/value on 1-decimal data, want well below 32", bits)
+	}
+}
+
+func TestQuickLossless(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLosslessDecimals(t *testing.T) {
+	f := func(ints []int32, prec8 uint8) bool {
+		prec := int(prec8 % 6)
+		scale := math.Pow(10, float64(prec))
+		src := make([]float64, len(ints))
+		for i, d := range ints {
+			src[i] = float64(d%100000) / scale
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

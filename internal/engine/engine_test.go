@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/gorilla"
+	"github.com/goalp/alp/internal/patas"
+	"github.com/goalp/alp/internal/vector"
+)
+
+func testValues(n int) []float64 {
+	d, _ := dataset.ByName("City-Temp")
+	return d.Generate(n)
+}
+
+func naiveSum(values []float64) float64 {
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s
+}
+
+func TestScanCountsAllTuples(t *testing.T) {
+	values := testValues(2*vector.RowGroupSize + 999)
+	for _, threads := range []int{1, 4} {
+		for _, r := range []*Relation{
+			BuildALP(values),
+			BuildUncompressed(values),
+			BuildStream("Gorilla", values, gorilla.Compress, gorilla.Decompress),
+		} {
+			if got := r.Scan(threads); got != len(values) {
+				t.Fatalf("%s scan(%d) = %d tuples, want %d", r.Name, threads, got, len(values))
+			}
+		}
+	}
+}
+
+func TestSumMatchesNaive(t *testing.T) {
+	values := testValues(vector.RowGroupSize + 4321)
+	want := naiveSum(values)
+	rels := []*Relation{
+		BuildALP(values),
+		BuildUncompressed(values),
+		BuildStream("Patas", values, patas.Compress, patas.Decompress),
+	}
+	for _, r := range rels {
+		for _, threads := range []int{1, 2, 8} {
+			got := r.Sum(threads)
+			// Summation order differs across partitions/threads; allow
+			// relative floating-point slack.
+			if math.Abs(got-want) > 1e-9*math.Abs(want) {
+				t.Fatalf("%s sum(%d) = %v, want %v", r.Name, threads, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionSizes(t *testing.T) {
+	values := testValues(3 * vector.RowGroupSize)
+	r := BuildALP(values)
+	if len(r.Parts) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(r.Parts))
+	}
+	if r.CompressedBytes() <= 0 || r.CompressedBytes() >= len(values)*8 {
+		t.Fatalf("ALP compressed to %d bytes of %d raw", r.CompressedBytes(), len(values)*8)
+	}
+	u := BuildUncompressed(values)
+	if u.CompressedBytes() != len(values)*8 {
+		t.Fatalf("uncompressed footprint %d, want %d", u.CompressedBytes(), len(values)*8)
+	}
+}
+
+func TestSingleThreadFallback(t *testing.T) {
+	values := testValues(5000)
+	r := BuildALP(values)
+	if got := r.Scan(0); got != len(values) {
+		t.Fatalf("scan(0) = %d, want %d (threads<1 clamps to 1)", got, len(values))
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	r := BuildALP(nil)
+	if r.Scan(4) != 0 || r.Sum(4) != 0 {
+		t.Fatal("empty relation must scan/sum to zero")
+	}
+}
+
+func TestSumRangePushdown(t *testing.T) {
+	// Values rise monotonically, so only a suffix of vectors qualifies
+	// for a high-range predicate: ALP must touch far fewer vectors than
+	// the stream codec, while both return identical answers.
+	values := make([]float64, 2*vector.RowGroupSize)
+	for i := range values {
+		values[i] = float64(i) / 100
+	}
+	lo, hi := values[len(values)-3*vector.Size], values[len(values)-1]
+
+	alp := BuildALP(values)
+	stream := BuildStream("Gorilla", values, gorilla.Compress, gorilla.Decompress)
+
+	wantSum, wantCount := 0.0, 0
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			wantSum += v
+			wantCount++
+		}
+	}
+	for _, threads := range []int{1, 4} {
+		aSum, aCount, aTouched := alp.SumRange(threads, lo, hi)
+		sSum, sCount, sTouched := stream.SumRange(threads, lo, hi)
+		if aCount != wantCount || sCount != wantCount {
+			t.Fatalf("counts: alp %d stream %d want %d", aCount, sCount, wantCount)
+		}
+		if math.Abs(aSum-wantSum) > 1e-6*wantSum || math.Abs(sSum-wantSum) > 1e-6*wantSum {
+			t.Fatalf("sums: alp %v stream %v want %v", aSum, sSum, wantSum)
+		}
+		if aTouched >= sTouched {
+			t.Fatalf("push-down failed: ALP touched %d vectors, stream %d", aTouched, sTouched)
+		}
+		if aTouched > 4 {
+			t.Fatalf("ALP touched %d vectors, want <= 4 (3 qualifying + boundary)", aTouched)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package fastlanes
+
+import "github.com/goalp/alp/internal/bitpack"
+
+// Delta is a delta + zig-zag + bit-packing encoding of an int64 vector:
+// consecutive differences are zig-zag mapped to unsigned integers and
+// bit-packed. It is the encoding of choice for (near-)sorted integer
+// streams, such as RLE run values or dictionary codes of sorted
+// dictionaries, and is one of the cascade options of Table 4.
+type Delta struct {
+	First int64
+	Width uint
+	N     int
+	Words []uint64
+}
+
+// zigzag maps signed integers to unsigned so small negative deltas stay
+// small: 0,-1,1,-2,2... -> 0,1,2,3,4...
+func zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// unzigzag reverses zigzag.
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// EncodeDelta encodes src with Delta. The input is not modified.
+func EncodeDelta(src []int64) Delta {
+	if len(src) == 0 {
+		return Delta{}
+	}
+	zz := make([]uint64, len(src)-1)
+	var maxZZ uint64
+	prev := src[0]
+	for i, v := range src[1:] {
+		z := zigzag(v - prev)
+		zz[i] = z
+		if z > maxZZ {
+			maxZZ = z
+		}
+		prev = v
+	}
+	w := bitpack.Width(maxZZ)
+	d := Delta{
+		First: src[0],
+		Width: w,
+		N:     len(src),
+		Words: make([]uint64, bitpack.WordCount(len(zz), w)),
+	}
+	bitpack.Pack(d.Words, zz, w, 0)
+	return d
+}
+
+// Decode decompresses the vector into dst, which must have length d.N.
+func (d *Delta) Decode(dst []int64) {
+	if d.N == 0 {
+		return
+	}
+	zz := make([]uint64, d.N-1)
+	bitpack.Unpack(zz, d.Words, d.Width, 0)
+	v := d.First
+	dst[0] = v
+	for i, z := range zz {
+		v += unzigzag(z)
+		dst[i+1] = v
+	}
+}
+
+// SizeBits returns the exact compressed payload size in bits.
+func (d *Delta) SizeBits() int {
+	if d.N == 0 {
+		return 0
+	}
+	return (d.N-1)*int(d.Width) + 64 + 8
+}

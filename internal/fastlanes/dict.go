@@ -1,0 +1,79 @@
+package fastlanes
+
+import (
+	"sort"
+
+	"github.com/goalp/alp/internal/bitpack"
+)
+
+// Dict is a Dictionary encoding of an int64 vector: distinct values are
+// collected into a sorted dictionary and the vector is stored as
+// bit-packed codes into it. The dictionary itself is compressed with
+// FFOR (a cascade, per §3.1: "use Dictionary-compression, but then also
+// compress the dictionary ... with Delta, RLE, FOR").
+type Dict struct {
+	N      int
+	Width  uint
+	Values FFOR // the sorted dictionary, FFOR-compressed
+	Codes  []uint64
+}
+
+// EncodeDict encodes src with Dictionary encoding. The input is not
+// modified. Encoding always succeeds; for high-cardinality input the
+// result is simply larger than FFOR, which the cascade chooser detects
+// via SizeBits.
+func EncodeDict(src []int64) Dict {
+	if len(src) == 0 {
+		return Dict{}
+	}
+	index := make(map[int64]int, 64)
+	for _, v := range src {
+		index[v] = 0
+	}
+	dict := make([]int64, 0, len(index))
+	for v := range index {
+		dict = append(dict, v)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	for i, v := range dict {
+		index[v] = i
+	}
+	w := bitpack.Width(uint64(len(dict) - 1))
+	codes := make([]uint64, len(src))
+	for i, v := range src {
+		codes[i] = uint64(index[v])
+	}
+	d := Dict{
+		N:      len(src),
+		Width:  w,
+		Values: EncodeFFOR(dict),
+	}
+	d.Codes = make([]uint64, bitpack.WordCount(len(src), w))
+	bitpack.Pack(d.Codes, codes, w, 0)
+	return d
+}
+
+// Cardinality returns the number of distinct values.
+func (d *Dict) Cardinality() int { return d.Values.N }
+
+// Decode decompresses the vector into dst, which must have length d.N.
+func (d *Dict) Decode(dst []int64) {
+	if d.N == 0 {
+		return
+	}
+	dict := make([]int64, d.Values.N)
+	d.Values.Decode(dict)
+	codes := make([]uint64, d.N)
+	bitpack.Unpack(codes, d.Codes, d.Width, 0)
+	for i, c := range codes {
+		dst[i] = dict[c]
+	}
+}
+
+// SizeBits returns the exact compressed payload size in bits.
+func (d *Dict) SizeBits() int {
+	if d.N == 0 {
+		return 0
+	}
+	return d.N*int(d.Width) + d.Values.SizeBits() + 16 + 8 // cardinality + code width
+}

@@ -1,0 +1,298 @@
+package fastlanes
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripFFOR(t *testing.T, src []int64) {
+	t.Helper()
+	f := EncodeFFOR(src)
+	got := make([]int64, len(src))
+	f.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("FFOR round trip mismatch:\n got %v\nwant %v", got, src)
+	}
+	f.DecodeUnfused(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("FFOR unfused round trip mismatch")
+	}
+	f.DecodeGeneric(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("FFOR generic round trip mismatch")
+	}
+}
+
+func TestFFORBasic(t *testing.T) {
+	roundTripFFOR(t, []int64{100, 101, 105, 100, 120, 99})
+	roundTripFFOR(t, []int64{-5, -3, 0, 7, -5})
+	roundTripFFOR(t, []int64{42})
+	roundTripFFOR(t, []int64{7, 7, 7, 7}) // width 0
+}
+
+func TestFFORExtremes(t *testing.T) {
+	roundTripFFOR(t, []int64{math.MinInt64, math.MaxInt64, 0, -1, 1})
+	roundTripFFOR(t, []int64{math.MaxInt64, math.MaxInt64 - 1})
+	roundTripFFOR(t, []int64{math.MinInt64, math.MinInt64})
+}
+
+func TestFFORWidth(t *testing.T) {
+	// Values in a tight range should pack to few bits regardless of
+	// their absolute magnitude.
+	src := make([]int64, 1024)
+	for i := range src {
+		src[i] = 1_000_000_000_000 + int64(i%16)
+	}
+	f := EncodeFFOR(src)
+	if f.Width != 4 {
+		t.Fatalf("width = %d, want 4", f.Width)
+	}
+	if got := f.SizeBits(); got != 1024*4+72 {
+		t.Fatalf("SizeBits = %d, want %d", got, 1024*4+72)
+	}
+}
+
+func TestFFOREmpty(t *testing.T) {
+	f := EncodeFFOR(nil)
+	if f.N != 0 || f.SizeBits() != 72 {
+		// An empty FFOR still carries its header; callers never emit it.
+		t.Logf("empty FFOR: N=%d size=%d", f.N, f.SizeBits())
+	}
+	f.Decode(nil) // must not panic
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, -1, 1, -2, 2, math.MaxInt64, math.MinInt64, 12345, -98765} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+	// Small magnitudes must map to small codes.
+	if zigzag(0) != 0 || zigzag(-1) != 1 || zigzag(1) != 2 || zigzag(-2) != 3 {
+		t.Errorf("zigzag order wrong: %d %d %d %d", zigzag(0), zigzag(-1), zigzag(1), zigzag(-2))
+	}
+}
+
+func TestDeltaBasic(t *testing.T) {
+	src := []int64{1000, 1001, 1003, 1002, 1010, 990}
+	d := EncodeDelta(src)
+	got := make([]int64, len(src))
+	d.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("Delta round trip mismatch: got %v want %v", got, src)
+	}
+}
+
+func TestDeltaSorted(t *testing.T) {
+	// A strictly increasing sequence with step 1 needs 1 bit per delta
+	// after zig-zag (code 2) -> width 2.
+	src := make([]int64, 1024)
+	for i := range src {
+		src[i] = int64(i) + 5000
+	}
+	d := EncodeDelta(src)
+	if d.Width != 2 {
+		t.Fatalf("width = %d, want 2", d.Width)
+	}
+	got := make([]int64, len(src))
+	d.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatal("Delta sorted round trip mismatch")
+	}
+}
+
+func TestDeltaSingleAndEmpty(t *testing.T) {
+	d := EncodeDelta([]int64{77})
+	got := make([]int64, 1)
+	d.Decode(got)
+	if got[0] != 77 {
+		t.Fatalf("got %d, want 77", got[0])
+	}
+	e := EncodeDelta(nil)
+	e.Decode(nil)
+	if e.SizeBits() != 0 {
+		t.Fatalf("empty SizeBits = %d", e.SizeBits())
+	}
+}
+
+func TestRLEBasic(t *testing.T) {
+	src := []int64{5, 5, 5, 9, 9, 2, 2, 2, 2, 2, 7}
+	r := EncodeRLE(src)
+	if r.Runs() != 4 {
+		t.Fatalf("runs = %d, want 4", r.Runs())
+	}
+	got := make([]int64, len(src))
+	r.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("RLE round trip mismatch: got %v want %v", got, src)
+	}
+}
+
+func TestRLEAllSame(t *testing.T) {
+	src := make([]int64, 1024)
+	for i := range src {
+		src[i] = -12345
+	}
+	r := EncodeRLE(src)
+	if r.Runs() != 1 {
+		t.Fatalf("runs = %d, want 1", r.Runs())
+	}
+	if r.SizeBits() >= 1024 {
+		t.Fatalf("SizeBits = %d, expected far below one bit per value", r.SizeBits())
+	}
+	got := make([]int64, len(src))
+	r.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatal("RLE all-same round trip mismatch")
+	}
+}
+
+func TestDictBasic(t *testing.T) {
+	src := []int64{100, 200, 100, 300, 200, 100, 100}
+	d := EncodeDict(src)
+	if d.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3", d.Cardinality())
+	}
+	got := make([]int64, len(src))
+	d.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("Dict round trip mismatch: got %v want %v", got, src)
+	}
+}
+
+func TestDictLowCardinalityIsSmall(t *testing.T) {
+	src := make([]int64, 1024)
+	for i := range src {
+		src[i] = int64(i%4) * 1_000_000
+	}
+	d := EncodeDict(src)
+	f := EncodeFFOR(src)
+	if d.SizeBits() >= f.SizeBits() {
+		t.Fatalf("Dict (%d bits) should beat FFOR (%d bits) on 4 distinct values", d.SizeBits(), f.SizeBits())
+	}
+	got := make([]int64, len(src))
+	d.Decode(got)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatal("Dict round trip mismatch")
+	}
+}
+
+func TestQuickFFOR(t *testing.T) {
+	f := func(src []int64) bool {
+		if len(src) == 0 {
+			return true
+		}
+		enc := EncodeFFOR(src)
+		got := make([]int64, len(src))
+		enc.Decode(got)
+		return reflect.DeepEqual(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDelta(t *testing.T) {
+	f := func(src []int64) bool {
+		if len(src) == 0 {
+			return true
+		}
+		enc := EncodeDelta(src)
+		got := make([]int64, len(src))
+		enc.Decode(got)
+		return reflect.DeepEqual(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRLE(t *testing.T) {
+	f := func(raw []int64, runs []uint8) bool {
+		// Build an input with genuine runs.
+		var src []int64
+		for i, v := range raw {
+			n := 1
+			if i < len(runs) {
+				n = int(runs[i]%7) + 1
+			}
+			for j := 0; j < n; j++ {
+				src = append(src, v)
+			}
+		}
+		if len(src) == 0 {
+			return true
+		}
+		enc := EncodeRLE(src)
+		got := make([]int64, len(src))
+		enc.Decode(got)
+		return reflect.DeepEqual(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDict(t *testing.T) {
+	f := func(raw []int64, pick []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		src := make([]int64, len(pick))
+		for i, p := range pick {
+			src[i] = raw[int(p)%len(raw)]
+		}
+		if len(src) == 0 {
+			return true
+		}
+		enc := EncodeDict(src)
+		got := make([]int64, len(src))
+		enc.Decode(got)
+		return reflect.DeepEqual(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchVector() []int64 {
+	r := rand.New(rand.NewSource(1))
+	src := make([]int64, 1024)
+	for i := range src {
+		src[i] = 500_000 + int64(r.Intn(1<<16))
+	}
+	return src
+}
+
+func BenchmarkFFOREncode(b *testing.B) {
+	src := benchVector()
+	b.SetBytes(1024 * 8)
+	for i := 0; i < b.N; i++ {
+		EncodeFFOR(src)
+	}
+}
+
+func BenchmarkFFORDecodeFused(b *testing.B) {
+	src := benchVector()
+	f := EncodeFFOR(src)
+	dst := make([]int64, len(src))
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Decode(dst)
+	}
+}
+
+func BenchmarkFFORDecodeUnfused(b *testing.B) {
+	src := benchVector()
+	f := EncodeFFOR(src)
+	dst := make([]int64, len(src))
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.DecodeUnfused(dst)
+	}
+}

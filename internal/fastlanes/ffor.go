@@ -1,0 +1,94 @@
+// Package fastlanes implements the lightweight integer encodings that
+// ALP cascades into: FFOR (Frame-Of-Reference fused with bit-packing),
+// Delta, RLE and Dictionary, all operating on vectors of int64 values.
+//
+// It is the Go counterpart of the paper's FastLanes library [6]: scalar
+// loops with no data-dependent branches over fixed-size blocks, with the
+// packing kernels specialized per bit width (internal/bitpack). Every
+// encoding reports its exact compressed size in bits so the benchmark
+// harness can account bits/value the way the paper does.
+package fastlanes
+
+import (
+	"unsafe"
+
+	"github.com/goalp/alp/internal/bitpack"
+)
+
+// FFOR is a Frame-Of-Reference + bit-packing encoding of an int64
+// vector: each value is stored as (v - Base) in Width bits. Encoding
+// and decoding fuse the reference arithmetic into the packing loop,
+// saving a second pass over the vector (the paper's "Fused FOR").
+type FFOR struct {
+	Base  int64
+	Width uint
+	N     int
+	Words []uint64
+}
+
+// EncodeFFOR encodes src with FFOR. The input is not modified.
+func EncodeFFOR(src []int64) FFOR {
+	if len(src) == 0 {
+		return FFOR{}
+	}
+	min, max := src[0], src[0]
+	for _, v := range src[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	w := bitpack.Width(uint64(max) - uint64(min))
+	f := FFOR{
+		Base:  min,
+		Width: w,
+		N:     len(src),
+		Words: make([]uint64, bitpack.WordCount(len(src), w)),
+	}
+	bitpack.Pack(f.Words, asUint64(src), w, uint64(min))
+	return f
+}
+
+// Decode decompresses the vector into dst, which must have length f.N.
+// The addition of the base is fused into the unpacking loop.
+func (f *FFOR) Decode(dst []int64) {
+	bitpack.Unpack(asUint64(dst), f.Words, f.Width, uint64(f.Base))
+}
+
+// DecodeUnfused performs the same decompression in two separate passes:
+// bit-unpacking first, then adding the base. It exists only as the
+// unfused comparand for the Figure 5 kernel-fusion ablation.
+func (f *FFOR) DecodeUnfused(dst []int64) {
+	u := asUint64(dst)
+	bitpack.Unpack(u, f.Words, f.Width, 0)
+	base := uint64(f.Base)
+	for i := range u {
+		u[i] += base
+	}
+}
+
+// DecodeGeneric decompresses through the width-parametric scalar loop
+// instead of the specialized kernels ("Scalar" variant in the Figure 4
+// ablation).
+func (f *FFOR) DecodeGeneric(dst []int64) {
+	bitpack.UnpackBlockGeneric(asUint64(dst), f.Words, f.N, f.Width, uint64(f.Base))
+}
+
+// SizeBits returns the exact compressed payload size in bits: the packed
+// words plus the per-vector base (64) and width (8) metadata.
+func (f *FFOR) SizeBits() int {
+	return f.N*int(f.Width) + 64 + 8
+}
+
+// asUint64 reinterprets an int64 slice as uint64 without copying.
+// Two's-complement wraparound makes the frame-of-reference arithmetic on
+// the unsigned view identical to signed arithmetic, and the types have
+// identical size and alignment, so the aliasing is well defined.
+func asUint64(s []int64) []uint64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&s[0])), len(s))
+}

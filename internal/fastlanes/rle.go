@@ -1,0 +1,62 @@
+package fastlanes
+
+// RLE is a Run-Length Encoding of an int64 vector: the vector is stored
+// as two integer streams, run values and run lengths, each compressed
+// with FFOR. It is the cascade option the paper picks for the Gov/*
+// and CMS/25 datasets in Table 4 (long runs of repeated values).
+type RLE struct {
+	N       int
+	Values  FFOR
+	Lengths FFOR
+}
+
+// EncodeRLE encodes src with RLE. The input is not modified.
+func EncodeRLE(src []int64) RLE {
+	if len(src) == 0 {
+		return RLE{}
+	}
+	var vals, lens []int64
+	run := src[0]
+	length := int64(1)
+	for _, v := range src[1:] {
+		if v == run {
+			length++
+			continue
+		}
+		vals = append(vals, run)
+		lens = append(lens, length)
+		run, length = v, 1
+	}
+	vals = append(vals, run)
+	lens = append(lens, length)
+	return RLE{N: len(src), Values: EncodeFFOR(vals), Lengths: EncodeFFOR(lens)}
+}
+
+// Runs returns the number of runs in the encoded vector.
+func (r *RLE) Runs() int { return r.Values.N }
+
+// Decode decompresses the vector into dst, which must have length r.N.
+func (r *RLE) Decode(dst []int64) {
+	if r.N == 0 {
+		return
+	}
+	vals := make([]int64, r.Values.N)
+	lens := make([]int64, r.Lengths.N)
+	r.Values.Decode(vals)
+	r.Lengths.Decode(lens)
+	di := 0
+	for i, v := range vals {
+		for j := int64(0); j < lens[i]; j++ {
+			dst[di] = v
+			di++
+		}
+	}
+}
+
+// SizeBits returns the exact compressed payload size in bits.
+func (r *RLE) SizeBits() int {
+	if r.N == 0 {
+		return 0
+	}
+	return r.Values.SizeBits() + r.Lengths.SizeBits() + 16 // run count
+}

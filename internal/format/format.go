@@ -1,0 +1,251 @@
+// Package format implements the columnar storage layout for
+// ALP-compressed data: columns are split into row-groups of 100 vectors
+// of 1024 values; each row-group carries its scheme (ALP decimal or
+// ALP_rd), its sampled parameters, and independently decodable vectors,
+// so a reader can skip to any vector without touching the rest — the
+// property that distinguishes lightweight encodings from block-based
+// general-purpose compression (§1, §4.1).
+package format
+
+import (
+	"github.com/goalp/alp/internal/alpenc"
+	"github.com/goalp/alp/internal/alprd"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Scheme identifies the encoding of a row-group.
+type Scheme uint8
+
+const (
+	// SchemeALP is the decimal encoding (§3.1).
+	SchemeALP Scheme = iota
+	// SchemeRD is the real-double encoding (§3.4).
+	SchemeRD
+)
+
+func (s Scheme) String() string {
+	if s == SchemeRD {
+		return "ALP_rd"
+	}
+	return "ALP"
+}
+
+// Column is an ALP-compressed column of float64 values.
+type Column struct {
+	N         int
+	RowGroups []RowGroup
+
+	// Zones holds per-vector min/max statistics for predicate
+	// push-down. Always populated by EncodeColumn; optional in
+	// serialized streams. Excluded from SizeBits, which accounts for
+	// the codec payload the way Table 4 does.
+	Zones *ZoneMap
+}
+
+// RowGroup is one compressed row-group.
+type RowGroup struct {
+	Scheme Scheme
+	Start  int // index of the first value
+	N      int
+
+	// SchemeALP state.
+	Combos  []alpenc.Combo
+	Vectors []alpenc.Vector
+
+	// SchemeRD state.
+	RD        *alprd.Encoder
+	RDVectors []alprd.Vector
+
+	// SecondStageTried records, per vector, how many candidate
+	// combinations the second sampling stage evaluated (0 when skipped);
+	// used by the sampling-overhead experiment (§4.2).
+	SecondStageTried []int
+}
+
+// EncodeColumn compresses values: per row-group it runs first-level
+// sampling, picks ALP or ALP_rd, and encodes every vector.
+func EncodeColumn(values []float64) *Column {
+	c := &Column{N: len(values), Zones: BuildZoneMap(values)}
+	scratch := make([]int64, vector.Size)
+	for g := 0; g < vector.RowGroupsIn(len(values)); g++ {
+		lo := g * vector.RowGroupSize
+		hi := lo + vector.RowGroupSize
+		if hi > len(values) {
+			hi = len(values)
+		}
+		c.RowGroups = append(c.RowGroups, encodeRowGroup(values[lo:hi], lo, scratch))
+	}
+	return c
+}
+
+// EncodeRowGroup compresses one row-group of values starting at global
+// index start. It is the building block of streaming writers: each
+// row-group is sampled and encoded independently.
+func EncodeRowGroup(values []float64, start int) RowGroup {
+	return encodeRowGroup(values, start, make([]int64, vector.Size))
+}
+
+func encodeRowGroup(values []float64, start int, scratch []int64) RowGroup {
+	rg := RowGroup{Start: start, N: len(values)}
+	dec := alpenc.SampleRowGroup(values)
+	if dec.UseRD || len(dec.Combos) == 0 {
+		rg.Scheme = SchemeRD
+		rg.RD = alprd.Sample(values)
+		for v := 0; v < vector.VectorsIn(len(values)); v++ {
+			lo, hi := vector.Bounds(v, len(values))
+			rg.RDVectors = append(rg.RDVectors, rg.RD.EncodeVector(values[lo:hi]))
+		}
+		return rg
+	}
+	rg.Scheme = SchemeALP
+	rg.Combos = dec.Combos
+	for v := 0; v < vector.VectorsIn(len(values)); v++ {
+		lo, hi := vector.Bounds(v, len(values))
+		combo, tried := alpenc.ChooseForVector(values[lo:hi], dec.Combos)
+		rg.Vectors = append(rg.Vectors, alpenc.EncodeVector(values[lo:hi], combo, scratch))
+		rg.SecondStageTried = append(rg.SecondStageTried, tried)
+	}
+	return rg
+}
+
+// NumVectors returns the number of vectors in the column.
+func (c *Column) NumVectors() int { return vector.VectorsIn(c.N) }
+
+// VectorLen returns the number of values in vector i.
+func (c *Column) VectorLen(i int) int {
+	lo, hi := vector.Bounds(i, c.N)
+	return hi - lo
+}
+
+// DecodeVector decompresses vector i (a global vector index) into dst
+// and returns the number of values written. Only the addressed vector
+// is touched: this is the vector-skipping access path.
+func (c *Column) DecodeVector(i int, dst []float64, scratch []int64) int {
+	g := i / vector.RowGroupVectors
+	local := i % vector.RowGroupVectors
+	rg := &c.RowGroups[g]
+	if rg.Scheme == SchemeRD {
+		v := &rg.RDVectors[local]
+		rg.RD.DecodeVector(v, dst[:v.N])
+		return v.N
+	}
+	v := &rg.Vectors[local]
+	v.Decode(dst[:v.N], scratch)
+	return v.N
+}
+
+// Decode decompresses the whole column into a new slice.
+func (c *Column) Decode() []float64 {
+	out := make([]float64, c.N)
+	scratch := make([]int64, vector.Size)
+	buf := make([]float64, vector.Size)
+	off := 0
+	for i := 0; i < c.NumVectors(); i++ {
+		n := c.DecodeVector(i, buf, scratch)
+		copy(out[off:], buf[:n])
+		off += n
+	}
+	return out
+}
+
+// SizeBits returns the exact compressed payload size in bits, including
+// all per-vector and per-row-group metadata (the bits/value accounting
+// of Table 4).
+func (c *Column) SizeBits() int {
+	bits := 64 + 32 // count + row-group count
+	for i := range c.RowGroups {
+		bits += c.RowGroups[i].SizeBits()
+	}
+	return bits
+}
+
+// SizeBits returns the compressed size of one row-group in bits,
+// including its scheme byte and sampled parameters.
+func (rg *RowGroup) SizeBits() int {
+	bits := 8 // scheme byte
+	if rg.Scheme == SchemeRD {
+		bits += rg.RD.HeaderBits()
+		for j := range rg.RDVectors {
+			bits += rg.RD.SizeBits(&rg.RDVectors[j])
+		}
+	} else {
+		bits += 8 + len(rg.Combos)*16
+		for j := range rg.Vectors {
+			bits += rg.Vectors[j].SizeBits()
+		}
+	}
+	return bits
+}
+
+// BitsPerValue returns the compression ratio in bits per value.
+func (c *Column) BitsPerValue() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.SizeBits()) / float64(c.N)
+}
+
+// Exceptions returns the total exception count across all vectors.
+func (c *Column) Exceptions() int {
+	total := 0
+	for i := range c.RowGroups {
+		rg := &c.RowGroups[i]
+		for j := range rg.Vectors {
+			total += rg.Vectors[j].Exceptions()
+		}
+		for j := range rg.RDVectors {
+			total += rg.RDVectors[j].Exceptions()
+		}
+	}
+	return total
+}
+
+// UsedRD reports whether any row-group fell back to ALP_rd.
+func (c *Column) UsedRD() bool {
+	for i := range c.RowGroups {
+		if c.RowGroups[i].Scheme == SchemeRD {
+			return true
+		}
+	}
+	return false
+}
+
+// SumRange sums the values in [lo, hi], skipping every vector whose
+// zone map proves it holds no qualifying values — the predicate
+// push-down scan the paper contrasts with block-based compression. It
+// returns the sum, the match count, and how many vectors were
+// decompressed.
+func (c *Column) SumRange(lo, hi float64) (sum float64, count, touched int) {
+	scratch := make([]int64, vector.Size)
+	buf := make([]float64, vector.Size)
+	for i := 0; i < c.NumVectors(); i++ {
+		if c.Zones != nil && !c.Zones.MayContain(i, lo, hi) {
+			continue
+		}
+		n := c.DecodeVector(i, buf, scratch)
+		touched++
+		for _, v := range buf[:n] {
+			if v >= lo && v <= hi {
+				sum += v
+				count++
+			}
+		}
+	}
+	return sum, count, touched
+}
+
+// Sum decompresses nothing it does not need: it folds the whole column
+// through per-vector decode buffers, mirroring a SUM aggregation over a
+// scan (§4.3). NaN values propagate as in IEEE arithmetic.
+func (c *Column) Sum() float64 {
+	var sum float64
+	scratch := make([]int64, vector.Size)
+	buf := make([]float64, vector.Size)
+	for i := 0; i < c.NumVectors(); i++ {
+		n := c.DecodeVector(i, buf, scratch)
+		for _, v := range buf[:n] {
+			sum += v
+		}
+	}
+	return sum
+}

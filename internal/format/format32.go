@@ -1,0 +1,346 @@
+package format
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/goalp/alp/internal/alpenc"
+	"github.com/goalp/alp/internal/alprd"
+	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/fastlanes"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Magic32 identifies a 32-bit ALP column stream ("ALPf").
+const Magic32 = uint32(0x664C5041)
+
+// Column32 is an ALP-compressed column of float32 values (§4.4).
+type Column32 struct {
+	N         int
+	RowGroups []RowGroup32
+}
+
+// RowGroup32 is one compressed row-group of float32 values.
+type RowGroup32 struct {
+	Scheme Scheme
+	Start  int
+	N      int
+
+	Combos  []alpenc.Combo
+	Vectors []alpenc.Vector32
+
+	RD        *alprd.Encoder32
+	RDVectors []alprd.Vector32
+}
+
+// EncodeColumn32 compresses float32 values with per-row-group scheme
+// selection, mirroring EncodeColumn.
+func EncodeColumn32(values []float32) *Column32 {
+	c := &Column32{N: len(values)}
+	scratch := make([]int64, vector.Size)
+	for g := 0; g < vector.RowGroupsIn(len(values)); g++ {
+		lo := g * vector.RowGroupSize
+		hi := lo + vector.RowGroupSize
+		if hi > len(values) {
+			hi = len(values)
+		}
+		c.RowGroups = append(c.RowGroups, encodeRowGroup32(values[lo:hi], lo, scratch))
+	}
+	return c
+}
+
+func encodeRowGroup32(values []float32, start int, scratch []int64) RowGroup32 {
+	rg := RowGroup32{Start: start, N: len(values)}
+	dec := alpenc.SampleRowGroup32(values)
+	if dec.UseRD || len(dec.Combos) == 0 {
+		rg.Scheme = SchemeRD
+		rg.RD = alprd.Sample32(values)
+		for v := 0; v < vector.VectorsIn(len(values)); v++ {
+			lo, hi := vector.Bounds(v, len(values))
+			rg.RDVectors = append(rg.RDVectors, rg.RD.EncodeVector(values[lo:hi]))
+		}
+		return rg
+	}
+	rg.Scheme = SchemeALP
+	rg.Combos = dec.Combos
+	for v := 0; v < vector.VectorsIn(len(values)); v++ {
+		lo, hi := vector.Bounds(v, len(values))
+		combo, _ := alpenc.ChooseForVector32(values[lo:hi], dec.Combos)
+		rg.Vectors = append(rg.Vectors, alpenc.EncodeVector32(values[lo:hi], combo, scratch))
+	}
+	return rg
+}
+
+// NumVectors returns the number of vectors in the column.
+func (c *Column32) NumVectors() int { return vector.VectorsIn(c.N) }
+
+// DecodeVector decompresses vector i into dst and returns the number of
+// values written.
+func (c *Column32) DecodeVector(i int, dst []float32, scratch []int64) int {
+	g := i / vector.RowGroupVectors
+	local := i % vector.RowGroupVectors
+	rg := &c.RowGroups[g]
+	if rg.Scheme == SchemeRD {
+		v := &rg.RDVectors[local]
+		rg.RD.DecodeVector(v, dst[:v.N])
+		return v.N
+	}
+	v := &rg.Vectors[local]
+	v.Decode(dst[:v.N], scratch)
+	return v.N
+}
+
+// Decode decompresses the whole column.
+func (c *Column32) Decode() []float32 {
+	out := make([]float32, c.N)
+	scratch := make([]int64, vector.Size)
+	buf := make([]float32, vector.Size)
+	off := 0
+	for i := 0; i < c.NumVectors(); i++ {
+		n := c.DecodeVector(i, buf, scratch)
+		copy(out[off:], buf[:n])
+		off += n
+	}
+	return out
+}
+
+// SizeBits returns the compressed payload size in bits.
+func (c *Column32) SizeBits() int {
+	bits := 64 + 32
+	for i := range c.RowGroups {
+		rg := &c.RowGroups[i]
+		bits += 8
+		if rg.Scheme == SchemeRD {
+			bits += rg.RD.HeaderBits()
+			for j := range rg.RDVectors {
+				bits += rg.RD.SizeBits(&rg.RDVectors[j])
+			}
+		} else {
+			bits += 8 + len(rg.Combos)*16
+			for j := range rg.Vectors {
+				bits += rg.Vectors[j].SizeBits()
+			}
+		}
+	}
+	return bits
+}
+
+// BitsPerValue returns the compression ratio in bits per value
+// (uncompressed float32 data is 32 bits per value).
+func (c *Column32) BitsPerValue() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.SizeBits()) / float64(c.N)
+}
+
+// UsedRD reports whether any row-group fell back to ALP_rd.
+func (c *Column32) UsedRD() bool {
+	for i := range c.RowGroups {
+		if c.RowGroups[i].Scheme == SchemeRD {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal serializes the 32-bit column.
+func (c *Column32) Marshal() []byte {
+	out := make([]byte, 0, c.SizeBits()/8+64)
+	out = binary.LittleEndian.AppendUint32(out, Magic32)
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.N))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.RowGroups)))
+	for i := range c.RowGroups {
+		rg := &c.RowGroups[i]
+		out = append(out, byte(rg.Scheme))
+		out = binary.LittleEndian.AppendUint32(out, uint32(rg.Start))
+		out = binary.LittleEndian.AppendUint32(out, uint32(rg.N))
+		if rg.Scheme == SchemeRD {
+			out = append(out, rg.RD.P, byte(rg.RD.CodeWidth), byte(len(rg.RD.Dict)))
+			for _, d := range rg.RD.Dict {
+				out = binary.LittleEndian.AppendUint16(out, d)
+			}
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(rg.RDVectors)))
+			for j := range rg.RDVectors {
+				v := &rg.RDVectors[j]
+				out = binary.LittleEndian.AppendUint16(out, uint16(v.N))
+				for _, w := range v.RightWords {
+					out = binary.LittleEndian.AppendUint64(out, w)
+				}
+				for _, w := range v.CodeWords {
+					out = binary.LittleEndian.AppendUint64(out, w)
+				}
+				out = binary.LittleEndian.AppendUint16(out, uint16(len(v.ExcPos)))
+				for _, p := range v.ExcPos {
+					out = binary.LittleEndian.AppendUint16(out, p)
+				}
+				for _, l := range v.ExcLeft {
+					out = binary.LittleEndian.AppendUint16(out, l)
+				}
+			}
+			continue
+		}
+		out = append(out, byte(len(rg.Combos)))
+		for _, cb := range rg.Combos {
+			out = append(out, cb.E, cb.F)
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(rg.Vectors)))
+		for j := range rg.Vectors {
+			v := &rg.Vectors[j]
+			out = append(out, v.E, v.F)
+			out = binary.LittleEndian.AppendUint16(out, uint16(v.N))
+			out = binary.LittleEndian.AppendUint64(out, uint64(v.Ints.Base))
+			out = append(out, byte(v.Ints.Width))
+			for _, w := range v.Ints.Words {
+				out = binary.LittleEndian.AppendUint64(out, w)
+			}
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(v.ExcPos)))
+			for _, p := range v.ExcPos {
+				out = binary.LittleEndian.AppendUint16(out, p)
+			}
+			for _, x := range v.ExcVals {
+				out = binary.LittleEndian.AppendUint32(out, math.Float32bits(x))
+			}
+		}
+	}
+	return out
+}
+
+// Unmarshal32 parses a 32-bit column stream.
+func Unmarshal32(data []byte) (*Column32, error) {
+	r := &reader{data: data}
+	if r.u32() != Magic32 {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, corrupt("bad magic (not a 32-bit ALP stream)")
+	}
+	n := int(r.u64())
+	ng := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || ng != vector.RowGroupsIn(n) {
+		return nil, corrupt("row-group count %d inconsistent with %d values", ng, n)
+	}
+	c := &Column32{N: n}
+	for g := 0; g < ng; g++ {
+		var rg RowGroup32
+		rg.Scheme = Scheme(r.u8())
+		rg.Start = int(r.u32())
+		rg.N = int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if rg.Scheme > SchemeRD {
+			return nil, corrupt("unknown scheme %d", rg.Scheme)
+		}
+		wantStart := g * vector.RowGroupSize
+		wantN := n - wantStart
+		if wantN > vector.RowGroupSize {
+			wantN = vector.RowGroupSize
+		}
+		if rg.Start != wantStart || rg.N != wantN {
+			return nil, corrupt("row-group %d extent (%d, %d), want (%d, %d)", g, rg.Start, rg.N, wantStart, wantN)
+		}
+		nv := vector.VectorsIn(rg.N)
+		if rg.Scheme == SchemeRD {
+			p := r.u8()
+			cw := uint(r.u8())
+			dictLen := int(r.u8())
+			if r.err == nil && (p > 31 || cw > alprd.MaxDictBits || dictLen > 1<<cw) {
+				return nil, corrupt("RD32 parameters p=%d cw=%d dict=%d", p, cw, dictLen)
+			}
+			dict := make([]uint16, dictLen)
+			for i := range dict {
+				dict[i] = r.u16()
+			}
+			rg.RD = alprd.NewEncoder32(p, cw, dict)
+			if got := int(r.u16()); r.err == nil && got != nv {
+				return nil, corrupt("RD32 vector count %d", got)
+			}
+			for j := 0; j < nv; j++ {
+				var v alprd.Vector32
+				v.N = int(r.u16())
+				if r.err == nil && (v.N <= 0 || v.N > vector.Size) {
+					return nil, corrupt("RD32 vector size %d", v.N)
+				}
+				v.RightWords = r.words(bitpack.WordCount(v.N, uint(p)))
+				v.CodeWords = r.words(bitpack.WordCount(v.N, cw))
+				ne := int(r.u16())
+				if r.err == nil && ne > v.N {
+					return nil, corrupt("RD32 exception count %d", ne)
+				}
+				for i := 0; i < ne; i++ {
+					pos := r.u16()
+					if r.err == nil && int(pos) >= v.N {
+						return nil, corrupt("RD32 exception position %d", pos)
+					}
+					v.ExcPos = append(v.ExcPos, pos)
+				}
+				for i := 0; i < ne; i++ {
+					v.ExcLeft = append(v.ExcLeft, r.u16())
+				}
+				if r.err != nil {
+					return nil, r.err
+				}
+				rg.RDVectors = append(rg.RDVectors, v)
+			}
+			c.RowGroups = append(c.RowGroups, rg)
+			continue
+		}
+		nc := int(r.u8())
+		for i := 0; i < nc; i++ {
+			e, f := r.u8(), r.u8()
+			if r.err == nil && (e > alpenc.MaxExponent32 || f > e) {
+				return nil, corrupt("combo32 (%d, %d)", e, f)
+			}
+			rg.Combos = append(rg.Combos, alpenc.Combo{E: e, F: f})
+		}
+		if got := int(r.u16()); r.err == nil && got != nv {
+			return nil, corrupt("vector count %d", got)
+		}
+		for j := 0; j < nv; j++ {
+			var v alpenc.Vector32
+			v.E = r.u8()
+			v.F = r.u8()
+			v.N = int(r.u16())
+			if r.err != nil {
+				return nil, r.err
+			}
+			if v.E > alpenc.MaxExponent32 || v.F > v.E {
+				return nil, corrupt("vector32 combo (%d, %d)", v.E, v.F)
+			}
+			if v.N <= 0 || v.N > vector.Size {
+				return nil, corrupt("vector32 size %d", v.N)
+			}
+			base := int64(r.u64())
+			width := uint(r.u8())
+			if r.err == nil && width > 64 {
+				return nil, corrupt("FFOR width %d", width)
+			}
+			words := r.words(bitpack.WordCount(v.N, width))
+			v.Ints = fastlanes.FFOR{Base: base, Width: width, N: v.N, Words: words}
+			ne := int(r.u16())
+			if r.err == nil && ne > v.N {
+				return nil, corrupt("exception count %d", ne)
+			}
+			for i := 0; i < ne; i++ {
+				pos := r.u16()
+				if r.err == nil && int(pos) >= v.N {
+					return nil, corrupt("exception position %d", pos)
+				}
+				v.ExcPos = append(v.ExcPos, pos)
+			}
+			for i := 0; i < ne; i++ {
+				v.ExcVals = append(v.ExcVals, math.Float32frombits(r.u32()))
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			rg.Vectors = append(rg.Vectors, v)
+		}
+		c.RowGroups = append(c.RowGroups, rg)
+	}
+	return c, r.err
+}

@@ -1,0 +1,137 @@
+package format
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/vector"
+)
+
+func decimals32(r *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(r.Intn(10000)) / 100
+	}
+	return out
+}
+
+func TestColumn32RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := decimals32(r, vector.RowGroupSize+7777)
+	c := EncodeColumn32(src)
+	got := c.Decode()
+	for i := range src {
+		if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], src[i])
+		}
+	}
+	if c.UsedRD() {
+		t.Fatal("decimal float32 must not use RD")
+	}
+	if c.BitsPerValue() >= 32 {
+		t.Fatalf("no compression: %.1f bits/value", c.BitsPerValue())
+	}
+}
+
+func TestColumn32MarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, src := range [][]float32{
+		decimals32(r, 5000),
+		dataset.Weights32(r, vector.RowGroupSize+99), // RD path
+	} {
+		c := EncodeColumn32(src)
+		data := c.Marshal()
+		c2, err := Unmarshal32(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c2.Decode()
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				t.Fatalf("value %d mismatch after marshal round trip", i)
+			}
+		}
+	}
+}
+
+func TestColumn32VectorAccess(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	src := decimals32(r, 5000)
+	c := EncodeColumn32(src)
+	buf := make([]float32, vector.Size)
+	scratch := make([]int64, vector.Size)
+	for vi := 0; vi < c.NumVectors(); vi++ {
+		n := c.DecodeVector(vi, buf, scratch)
+		lo, hi := vector.Bounds(vi, len(src))
+		if n != hi-lo {
+			t.Fatalf("vector %d: n = %d, want %d", vi, n, hi-lo)
+		}
+		for i := 0; i < n; i++ {
+			if math.Float32bits(buf[i]) != math.Float32bits(src[lo+i]) {
+				t.Fatalf("vector %d value %d mismatch", vi, i)
+			}
+		}
+	}
+}
+
+func TestUnmarshal32RejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data := EncodeColumn32(decimals32(r, 3000)).Marshal()
+	if _, err := Unmarshal32(nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := Unmarshal32(bad); err == nil {
+		t.Fatal("want error on bad magic")
+	}
+	for _, cut := range []int{10, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal32(data[:cut]); err == nil {
+			t.Fatalf("want error on truncation at %d", cut)
+		}
+	}
+	// A 64-bit stream must be rejected by the 32-bit parser.
+	data64 := EncodeColumn([]float64{1.5}).Marshal()
+	if _, err := Unmarshal32(data64); err == nil {
+		t.Fatal("want error on 64-bit magic")
+	}
+}
+
+func TestQuickColumn32RoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b)
+		}
+		c := EncodeColumn32(src)
+		data := c.Marshal()
+		c2, err := Unmarshal32(data)
+		if err != nil {
+			return false
+		}
+		got := c2.Decode()
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumn32Empty(t *testing.T) {
+	c := EncodeColumn32(nil)
+	if c.N != 0 || len(c.Decode()) != 0 {
+		t.Fatal("empty column must stay empty")
+	}
+	c2, err := Unmarshal32(c.Marshal())
+	if err != nil || c2.N != 0 {
+		t.Fatalf("empty marshal round trip: %v", err)
+	}
+}

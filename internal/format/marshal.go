@@ -1,0 +1,375 @@
+package format
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/goalp/alp/internal/alpenc"
+	"github.com/goalp/alp/internal/alprd"
+	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/fastlanes"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Magic identifies an ALP column stream ("ALP1" little-endian).
+const Magic = uint32(0x31504C41)
+
+// ErrCorrupt is returned when a stream fails structural validation.
+var ErrCorrupt = errors.New("format: corrupt ALP stream")
+
+func corrupt(whatf string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(whatf, args...))
+}
+
+// Marshal serializes the column to a self-describing byte stream.
+func (c *Column) Marshal() []byte {
+	out := make([]byte, 0, c.SizeBits()/8+64)
+	out = binary.LittleEndian.AppendUint32(out, Magic)
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.N))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.RowGroups)))
+	for i := range c.RowGroups {
+		out = marshalRowGroup(out, &c.RowGroups[i])
+	}
+	// Optional zone-map trailer (scan statistics, not codec payload).
+	if c.Zones == nil {
+		return append(out, 0)
+	}
+	out = append(out, 1)
+	for i := range c.Zones.Min {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.Zones.Min[i]))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.Zones.Max[i]))
+		if c.Zones.HasValues[i] {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func marshalRowGroup(out []byte, rg *RowGroup) []byte {
+	out = append(out, byte(rg.Scheme))
+	out = binary.LittleEndian.AppendUint32(out, uint32(rg.Start))
+	out = binary.LittleEndian.AppendUint32(out, uint32(rg.N))
+	if rg.Scheme == SchemeRD {
+		out = append(out, rg.RD.P, byte(rg.RD.CodeWidth), byte(len(rg.RD.Dict)))
+		for _, d := range rg.RD.Dict {
+			out = binary.LittleEndian.AppendUint16(out, d)
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(rg.RDVectors)))
+		for j := range rg.RDVectors {
+			out = marshalRDVector(out, &rg.RDVectors[j])
+		}
+		return out
+	}
+	out = append(out, byte(len(rg.Combos)))
+	for _, cb := range rg.Combos {
+		out = append(out, cb.E, cb.F)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(rg.Vectors)))
+	for j := range rg.Vectors {
+		out = marshalALPVector(out, &rg.Vectors[j])
+	}
+	return out
+}
+
+func marshalALPVector(out []byte, v *alpenc.Vector) []byte {
+	out = append(out, v.E, v.F)
+	out = binary.LittleEndian.AppendUint16(out, uint16(v.N))
+	out = binary.LittleEndian.AppendUint64(out, uint64(v.Ints.Base))
+	out = append(out, byte(v.Ints.Width))
+	for _, w := range v.Ints.Words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(v.ExcPos)))
+	for _, p := range v.ExcPos {
+		out = binary.LittleEndian.AppendUint16(out, p)
+	}
+	for _, x := range v.ExcVals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+	}
+	return out
+}
+
+func marshalRDVector(out []byte, v *alprd.Vector) []byte {
+	out = binary.LittleEndian.AppendUint16(out, uint16(v.N))
+	for _, w := range v.RightWords {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	for _, w := range v.CodeWords {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(v.ExcPos)))
+	for _, p := range v.ExcPos {
+		out = binary.LittleEndian.AppendUint16(out, p)
+	}
+	for _, l := range v.ExcLeft {
+		out = binary.LittleEndian.AppendUint16(out, l)
+	}
+	return out
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.data) {
+		r.err = corrupt("need %d bytes at offset %d, have %d", n, r.pos, len(r.data)-r.pos)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) words(n int) []uint64 {
+	if n < 0 || !r.need(8*n) {
+		if r.err == nil {
+			r.err = corrupt("negative word count")
+		}
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(r.data[r.pos:])
+		r.pos += 8
+	}
+	return out
+}
+
+// Unmarshal parses a column stream produced by Marshal, validating all
+// structural invariants.
+func Unmarshal(data []byte) (*Column, error) {
+	r := &reader{data: data}
+	if r.u32() != Magic {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, corrupt("bad magic")
+	}
+	n := int(r.u64())
+	ng := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || ng != vector.RowGroupsIn(n) {
+		return nil, corrupt("row-group count %d inconsistent with %d values", ng, n)
+	}
+	c := &Column{N: n}
+	for g := 0; g < ng; g++ {
+		rg, err := unmarshalRowGroup(r)
+		if err != nil {
+			return nil, err
+		}
+		// Cross-validate against the global layout: a row-group that
+		// claims the wrong extent would desynchronize vector addressing.
+		wantStart := g * vector.RowGroupSize
+		wantN := n - wantStart
+		if wantN > vector.RowGroupSize {
+			wantN = vector.RowGroupSize
+		}
+		if rg.Start != wantStart || rg.N != wantN {
+			return nil, corrupt("row-group %d extent (%d, %d), want (%d, %d)", g, rg.Start, rg.N, wantStart, wantN)
+		}
+		c.RowGroups = append(c.RowGroups, rg)
+	}
+	switch r.u8() {
+	case 0: // no zone map
+	case 1:
+		nv := vector.VectorsIn(n)
+		zm := &ZoneMap{
+			Min:       make([]float64, nv),
+			Max:       make([]float64, nv),
+			HasValues: make([]bool, nv),
+		}
+		for i := 0; i < nv; i++ {
+			zm.Min[i] = math.Float64frombits(r.u64())
+			zm.Max[i] = math.Float64frombits(r.u64())
+			zm.HasValues[i] = r.u8() == 1
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		c.Zones = zm
+	default:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, corrupt("unknown trailer flag")
+	}
+	return c, nil
+}
+
+func unmarshalRowGroup(r *reader) (RowGroup, error) {
+	var rg RowGroup
+	rg.Scheme = Scheme(r.u8())
+	rg.Start = int(r.u32())
+	rg.N = int(r.u32())
+	if r.err != nil {
+		return rg, r.err
+	}
+	if rg.Scheme > SchemeRD {
+		return rg, corrupt("unknown scheme %d", rg.Scheme)
+	}
+	if rg.N <= 0 || rg.N > vector.RowGroupSize {
+		return rg, corrupt("row-group size %d", rg.N)
+	}
+	if rg.Scheme == SchemeRD {
+		p := r.u8()
+		cw := uint(r.u8())
+		dictLen := int(r.u8())
+		if r.err == nil && p > 63 {
+			return rg, corrupt("RD cut position %d", p)
+		}
+		if r.err == nil && (cw > alprd.MaxDictBits || dictLen > 1<<cw) {
+			return rg, corrupt("RD dictionary: width %d size %d", cw, dictLen)
+		}
+		dict := make([]uint16, dictLen)
+		for i := range dict {
+			dict[i] = r.u16()
+		}
+		rg.RD = alprd.NewEncoder(p, cw, dict)
+		nv := int(r.u16())
+		if r.err == nil && nv != vector.VectorsIn(rg.N) {
+			return rg, corrupt("RD vector count %d for %d values", nv, rg.N)
+		}
+		for j := 0; j < nv; j++ {
+			v, err := unmarshalRDVector(r, p, cw)
+			if err != nil {
+				return rg, err
+			}
+			rg.RDVectors = append(rg.RDVectors, v)
+		}
+		return rg, r.err
+	}
+
+	nc := int(r.u8())
+	for i := 0; i < nc; i++ {
+		e, f := r.u8(), r.u8()
+		if r.err == nil && (e > alpenc.MaxExponent || f > e) {
+			return rg, corrupt("combo (%d, %d)", e, f)
+		}
+		rg.Combos = append(rg.Combos, alpenc.Combo{E: e, F: f})
+	}
+	nv := int(r.u16())
+	if r.err == nil && nv != vector.VectorsIn(rg.N) {
+		return rg, corrupt("vector count %d for %d values", nv, rg.N)
+	}
+	for j := 0; j < nv; j++ {
+		v, err := unmarshalALPVector(r)
+		if err != nil {
+			return rg, err
+		}
+		rg.Vectors = append(rg.Vectors, v)
+	}
+	return rg, r.err
+}
+
+func unmarshalALPVector(r *reader) (alpenc.Vector, error) {
+	var v alpenc.Vector
+	v.E = r.u8()
+	v.F = r.u8()
+	v.N = int(r.u16())
+	if r.err != nil {
+		return v, r.err
+	}
+	if v.E > alpenc.MaxExponent || v.F > v.E {
+		return v, corrupt("vector combo (%d, %d)", v.E, v.F)
+	}
+	if v.N <= 0 || v.N > vector.Size {
+		return v, corrupt("vector size %d", v.N)
+	}
+	base := int64(r.u64())
+	width := uint(r.u8())
+	if r.err == nil && width > 64 {
+		return v, corrupt("FFOR width %d", width)
+	}
+	words := r.words(bitpack.WordCount(v.N, width))
+	v.Ints = fastlanes.FFOR{Base: base, Width: width, N: v.N, Words: words}
+	ne := int(r.u16())
+	if r.err == nil && ne > v.N {
+		return v, corrupt("%d exceptions in %d values", ne, v.N)
+	}
+	for i := 0; i < ne; i++ {
+		p := r.u16()
+		if r.err == nil && int(p) >= v.N {
+			return v, corrupt("exception position %d", p)
+		}
+		v.ExcPos = append(v.ExcPos, p)
+	}
+	for i := 0; i < ne; i++ {
+		v.ExcVals = append(v.ExcVals, math.Float64frombits(r.u64()))
+	}
+	return v, r.err
+}
+
+func unmarshalRDVector(r *reader, p uint8, cw uint) (alprd.Vector, error) {
+	var v alprd.Vector
+	v.N = int(r.u16())
+	if r.err != nil {
+		return v, r.err
+	}
+	if v.N <= 0 || v.N > vector.Size {
+		return v, corrupt("RD vector size %d", v.N)
+	}
+	v.RightWords = r.words(bitpack.WordCount(v.N, uint(p)))
+	v.CodeWords = r.words(bitpack.WordCount(v.N, cw))
+	ne := int(r.u16())
+	if r.err == nil && ne > v.N {
+		return v, corrupt("%d RD exceptions in %d values", ne, v.N)
+	}
+	for i := 0; i < ne; i++ {
+		pos := r.u16()
+		if r.err == nil && int(pos) >= v.N {
+			return v, corrupt("RD exception position %d", pos)
+		}
+		v.ExcPos = append(v.ExcPos, pos)
+	}
+	for i := 0; i < ne; i++ {
+		v.ExcLeft = append(v.ExcLeft, r.u16())
+	}
+	return v, r.err
+}

@@ -1,0 +1,73 @@
+package format
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// TestUnmarshalNeverPanics mutates valid streams at random positions
+// and asserts the parser either rejects them or produces a column that
+// can be fully decoded — it must never panic or index out of range.
+// This is the safety contract for reading untrusted column files.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	d, _ := dataset.ByName("Stocks-USA")
+	base := EncodeColumn(d.Generate(3 * vector.Size)).Marshal()
+	dRD, _ := dataset.ByName("POI-lat")
+	baseRD := EncodeColumn(dRD.Generate(3 * vector.Size)).Marshal()
+
+	r := rand.New(rand.NewSource(99))
+	for _, stream := range [][]byte{base, baseRD} {
+		for trial := 0; trial < 3000; trial++ {
+			mut := append([]byte(nil), stream...)
+			flips := 1 + r.Intn(4)
+			for f := 0; f < flips; f++ {
+				mut[r.Intn(len(mut))] ^= byte(1 + r.Intn(255))
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("panic on mutated stream (trial %d): %v", trial, p)
+					}
+				}()
+				col, err := Unmarshal(mut)
+				if err != nil {
+					return // rejected: fine
+				}
+				// Accepted: decoding must be safe (values may differ).
+				col.Decode()
+				col.Sum()
+			}()
+		}
+	}
+}
+
+// TestUnmarshal32NeverPanics is the float32 counterpart.
+func TestUnmarshal32NeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	src := make([]float32, 3*vector.Size)
+	for i := range src {
+		src[i] = float32(r.Intn(10000)) / 100
+	}
+	base := EncodeColumn32(src).Marshal()
+	for trial := 0; trial < 3000; trial++ {
+		mut := append([]byte(nil), base...)
+		for f := 0; f < 1+r.Intn(4); f++ {
+			mut[r.Intn(len(mut))] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated 32-bit stream (trial %d): %v", trial, p)
+				}
+			}()
+			col, err := Unmarshal32(mut)
+			if err != nil {
+				return
+			}
+			col.Decode()
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+package format
+
+import (
+	"math"
+	"testing"
+
+	"github.com/goalp/alp/internal/vector"
+)
+
+func TestBuildZoneMap(t *testing.T) {
+	values := make([]float64, 2*vector.Size)
+	for i := 0; i < vector.Size; i++ {
+		values[i] = float64(i) // vector 0: [0, 1023]
+	}
+	for i := vector.Size; i < len(values); i++ {
+		values[i] = -100.5 // vector 1: constant
+	}
+	zm := BuildZoneMap(values)
+	if zm.Min[0] != 0 || zm.Max[0] != 1023 {
+		t.Fatalf("vector 0 bounds = [%v, %v]", zm.Min[0], zm.Max[0])
+	}
+	if zm.Min[1] != -100.5 || zm.Max[1] != -100.5 {
+		t.Fatalf("vector 1 bounds = [%v, %v]", zm.Min[1], zm.Max[1])
+	}
+	if !zm.HasValues[0] || !zm.HasValues[1] {
+		t.Fatal("both vectors hold values")
+	}
+}
+
+func TestZoneMapNaN(t *testing.T) {
+	values := make([]float64, vector.Size)
+	for i := range values {
+		values[i] = math.NaN()
+	}
+	zm := BuildZoneMap(values)
+	if zm.HasValues[0] {
+		t.Fatal("all-NaN vector must report no values")
+	}
+	if !zm.MayContain(0, 0, 1) {
+		t.Fatal("all-NaN vector must be conservatively kept")
+	}
+}
+
+func TestMayContain(t *testing.T) {
+	zm := &ZoneMap{Min: []float64{10}, Max: []float64{20}, HasValues: []bool{true}}
+	cases := []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{0, 5, false}, {25, 30, false}, {0, 10, true}, {20, 30, true},
+		{12, 15, true}, {0, 100, true}, {math.Inf(-1), math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := zm.MayContain(0, c.lo, c.hi); got != c.want {
+			t.Errorf("MayContain([10,20], %v, %v) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSumRangeSkipsVectors(t *testing.T) {
+	// Three vectors with disjoint ranges; a predicate covering only the
+	// middle one must touch exactly one vector.
+	values := make([]float64, 3*vector.Size)
+	for i := range values {
+		base := float64(i/vector.Size) * 1000
+		values[i] = base + float64(i%10)
+	}
+	c := EncodeColumn(values)
+	sum, count, touched := c.SumRange(1000, 1009)
+	if touched != 1 {
+		t.Fatalf("touched %d vectors, want 1", touched)
+	}
+	if count != vector.Size {
+		t.Fatalf("count = %d, want %d", count, vector.Size)
+	}
+	var want float64
+	for i := vector.Size; i < 2*vector.Size; i++ {
+		want += values[i]
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestSumRangeSurvivesMarshal(t *testing.T) {
+	values := make([]float64, 2*vector.Size)
+	for i := range values {
+		values[i] = float64(i) / 4
+	}
+	c := EncodeColumn(values)
+	c2, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Zones == nil {
+		t.Fatal("zone map must survive serialization")
+	}
+	s1, n1, t1 := c.SumRange(0, 100)
+	s2, n2, t2 := c2.SumRange(0, 100)
+	if s1 != s2 || n1 != n2 || t1 != t2 {
+		t.Fatalf("SumRange differs after marshal: (%v,%d,%d) vs (%v,%d,%d)", s1, n1, t1, s2, n2, t2)
+	}
+	if t1 != 1 {
+		t.Fatalf("touched %d vectors, want 1", t1)
+	}
+}
+
+func TestSumRangeWithoutZoneMap(t *testing.T) {
+	// A column without zones must still answer correctly (all vectors
+	// touched).
+	values := []float64{1, 2, 3, 4, 5}
+	c := EncodeColumn(values)
+	c.Zones = nil
+	sum, count, touched := c.SumRange(2, 4)
+	if sum != 9 || count != 3 || touched != 1 {
+		t.Fatalf("got (%v, %d, %d)", sum, count, touched)
+	}
+}
+
+func TestZoneMapSizeBits(t *testing.T) {
+	zm := BuildZoneMap(make([]float64, 3*vector.Size))
+	if zm.SizeBits() != 3*129 {
+		t.Fatalf("SizeBits = %d, want %d", zm.SizeBits(), 3*129)
+	}
+}

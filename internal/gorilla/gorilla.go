@@ -1,0 +1,160 @@
+// Package gorilla implements the Gorilla floating-point compression of
+// Pelkonen et al. (VLDB'15), the original XOR-with-previous scheme and
+// the baseline every later float codec refines.
+//
+// Each value is XORed with its predecessor. A zero XOR is one '0' bit.
+// Otherwise a '1' bit is followed by either a '0' (the meaningful bits
+// fit the previous leading/trailing-zero window) and the windowed bits,
+// or a '1', 5 bits of leading-zero count, 6 bits of meaningful-bit
+// length and the meaningful bits themselves.
+package gorilla
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/goalp/alp/internal/bitstream"
+)
+
+// maxLeading caps the stored leading-zero count at 31 so it fits the
+// 5-bit field, as in the original implementation.
+const maxLeading = 31
+
+// Compress encodes src and returns the bit stream.
+func Compress(src []float64) []byte {
+	w := bitstream.NewWriter(len(src) * 8)
+	if len(src) == 0 {
+		return w.Bytes()
+	}
+	prev := math.Float64bits(src[0])
+	w.WriteBits(prev, 64)
+	prevLead, prevTrail := ^uint(0), uint(0) // invalid window
+	for _, v := range src[1:] {
+		cur := math.Float64bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > maxLeading {
+			lead = maxLeading
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		if prevLead != ^uint(0) && lead >= prevLead && trail >= prevTrail {
+			// Control bit 0: reuse the previous window.
+			w.WriteBit(0)
+			w.WriteBits(xor>>prevTrail, 64-prevLead-prevTrail)
+		} else {
+			// Control bit 1: new window.
+			w.WriteBit(1)
+			w.WriteBits(uint64(lead), 5)
+			meaningful := 64 - lead - trail
+			w.WriteBits(uint64(meaningful-1), 6)
+			w.WriteBits(xor>>trail, meaningful)
+			prevLead, prevTrail = lead, trail
+		}
+	}
+	return w.Bytes()
+}
+
+// Decompress decodes len(dst) values from data into dst.
+func Decompress(dst []float64, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	r := bitstream.NewReader(data)
+	prev := r.ReadBits(64)
+	dst[0] = math.Float64frombits(prev)
+	var lead, trail uint
+	for i := 1; i < len(dst); i++ {
+		if r.ReadBit() == 0 {
+			dst[i] = math.Float64frombits(prev)
+			continue
+		}
+		if r.ReadBit() == 0 {
+			meaningful := 64 - lead - trail
+			xor := r.ReadBits(meaningful) << trail
+			prev ^= xor
+		} else {
+			lead = uint(r.ReadBits(5))
+			meaningful := uint(r.ReadBits(6)) + 1
+			trail = 64 - lead - meaningful
+			xor := r.ReadBits(meaningful) << trail
+			prev ^= xor
+		}
+		dst[i] = math.Float64frombits(prev)
+	}
+	return r.Err()
+}
+
+// Compress32 encodes float32 values with the same scheme scaled to 32
+// bits (4-bit leading-zero field capped at 15, 5-bit length field).
+func Compress32(src []float32) []byte {
+	w := bitstream.NewWriter(len(src) * 4)
+	if len(src) == 0 {
+		return w.Bytes()
+	}
+	prev := math.Float32bits(src[0])
+	w.WriteBits(uint64(prev), 32)
+	prevLead, prevTrail := ^uint(0), uint(0)
+	for _, v := range src[1:] {
+		cur := math.Float32bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := uint(bits.LeadingZeros32(xor))
+		if lead > 15 {
+			lead = 15
+		}
+		trail := uint(bits.TrailingZeros32(xor))
+		if prevLead != ^uint(0) && lead >= prevLead && trail >= prevTrail {
+			w.WriteBit(0)
+			w.WriteBits(uint64(xor>>prevTrail), 32-prevLead-prevTrail)
+		} else {
+			w.WriteBit(1)
+			w.WriteBits(uint64(lead), 4)
+			meaningful := 32 - lead - trail
+			w.WriteBits(uint64(meaningful-1), 5)
+			w.WriteBits(uint64(xor>>trail), meaningful)
+			prevLead, prevTrail = lead, trail
+		}
+	}
+	return w.Bytes()
+}
+
+// Decompress32 decodes len(dst) float32 values from data into dst.
+func Decompress32(dst []float32, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	r := bitstream.NewReader(data)
+	prev := uint32(r.ReadBits(32))
+	dst[0] = math.Float32frombits(prev)
+	var lead, trail uint
+	for i := 1; i < len(dst); i++ {
+		if r.ReadBit() == 0 {
+			dst[i] = math.Float32frombits(prev)
+			continue
+		}
+		if r.ReadBit() == 0 {
+			meaningful := 32 - lead - trail
+			xor := uint32(r.ReadBits(meaningful)) << trail
+			prev ^= xor
+		} else {
+			lead = uint(r.ReadBits(4))
+			meaningful := uint(r.ReadBits(5)) + 1
+			trail = 32 - lead - meaningful
+			xor := uint32(r.ReadBits(meaningful)) << trail
+			prev ^= xor
+		}
+		dst[i] = math.Float32frombits(prev)
+	}
+	return r.Err()
+}

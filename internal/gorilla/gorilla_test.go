@@ -1,0 +1,124 @@
+package gorilla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []float64) []byte {
+	t.Helper()
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v (%#x), want %v (%#x)",
+				i, got[i], math.Float64bits(got[i]), src[i], math.Float64bits(src[i]))
+		}
+	}
+	return data
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []float64{1.0, 1.0, 1.5, 2.5, 2.5, 100.25, -3.75})
+}
+
+func TestRoundTripEmptyAndSingle(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []float64{42.5})
+}
+
+func TestRoundTripSpecials(t *testing.T) {
+	roundTrip(t, []float64{
+		0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -math.Pi,
+	})
+}
+
+func TestTimeSeriesCompresses(t *testing.T) {
+	// A slowly drifting series is Gorilla's home turf: the ratio must be
+	// clearly under 64 bits/value.
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 4096)
+	v := 20.0
+	for i := range src {
+		v += math.Round(r.NormFloat64()*10) / 10
+		src[i] = v
+	}
+	data := roundTrip(t, src)
+	bits := float64(len(data)*8) / float64(len(src))
+	if bits >= 64 {
+		t.Fatalf("no compression on time series: %.1f bits/value", bits)
+	}
+}
+
+func TestRepeatedValuesOneBit(t *testing.T) {
+	src := make([]float64, 1024)
+	for i := range src {
+		src[i] = 7.25
+	}
+	data := roundTrip(t, src)
+	// 64 bits header + ~1 bit per repeat.
+	if len(data) > 8+1024/8+1 {
+		t.Fatalf("repeats took %d bytes, want ~%d", len(data), 8+1024/8)
+	}
+}
+
+func TestQuickLossless(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLossless32(t *testing.T) {
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b)
+		}
+		data := Compress32(src)
+		got := make([]float32, len(src))
+		if err := Decompress32(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	src := []float64{1.5, 2.5, 3.5, 4.5}
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data[:2]); err == nil {
+		t.Fatal("want error on truncated stream")
+	}
+}

@@ -1,0 +1,139 @@
+// Package gp is the general-purpose, block-based comparator standing in
+// for Zstd in the evaluation (see DESIGN.md, substitution 2): stdlib
+// DEFLATE over 256 KiB blocks of little-endian doubles. Like Zstd in
+// the paper, it compresses well and slowly, and its block granularity
+// means a reader must decompress a whole block (32 vectors) to access
+// any value in it — the property that prevents predicate push-down.
+package gp
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+)
+
+// BlockValues is the number of float64 values per compression block:
+// 32768 values = 256 KiB, the block size the paper cites for Zstd.
+const BlockValues = 32768
+
+var errCorrupt = errors.New("gp: corrupt stream")
+
+// Compress encodes src block-at-a-time. Each block is framed with its
+// compressed byte length.
+func Compress(src []float64) []byte {
+	var out []byte
+	raw := make([]byte, 0, BlockValues*8)
+	var cbuf bytes.Buffer
+	for off := 0; off < len(src); off += BlockValues {
+		hi := off + BlockValues
+		if hi > len(src) {
+			hi = len(src)
+		}
+		raw = raw[:0]
+		for _, v := range src[off:hi] {
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+		}
+		cbuf.Reset()
+		fw, err := flate.NewWriter(&cbuf, flate.DefaultCompression)
+		if err != nil {
+			panic("gp: " + err.Error()) // impossible with a valid level
+		}
+		if _, err := fw.Write(raw); err != nil || fw.Close() != nil {
+			panic("gp: in-memory deflate cannot fail")
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(cbuf.Len()))
+		out = append(out, cbuf.Bytes()...)
+	}
+	return out
+}
+
+// Compress32 encodes float32 values block-at-a-time (64 K values per
+// 256 KiB block).
+func Compress32(src []float32) []byte {
+	var out []byte
+	raw := make([]byte, 0, BlockValues*8)
+	var cbuf bytes.Buffer
+	const blockValues32 = BlockValues * 2
+	for off := 0; off < len(src); off += blockValues32 {
+		hi := off + blockValues32
+		if hi > len(src) {
+			hi = len(src)
+		}
+		raw = raw[:0]
+		for _, v := range src[off:hi] {
+			raw = binary.LittleEndian.AppendUint32(raw, math.Float32bits(v))
+		}
+		cbuf.Reset()
+		fw, err := flate.NewWriter(&cbuf, flate.DefaultCompression)
+		if err != nil {
+			panic("gp: " + err.Error())
+		}
+		if _, err := fw.Write(raw); err != nil || fw.Close() != nil {
+			panic("gp: in-memory deflate cannot fail")
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(cbuf.Len()))
+		out = append(out, cbuf.Bytes()...)
+	}
+	return out
+}
+
+// Decompress decodes len(dst) values from data into dst.
+func Decompress(dst []float64, data []byte) error {
+	off := 0
+	for off < len(dst) {
+		if len(data) < 4 {
+			return errCorrupt
+		}
+		clen := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < clen {
+			return errCorrupt
+		}
+		fr := flate.NewReader(bytes.NewReader(data[:clen]))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return err
+		}
+		data = data[clen:]
+		if len(raw)%8 != 0 || off+len(raw)/8 > len(dst) {
+			return errCorrupt
+		}
+		for i := 0; i < len(raw); i += 8 {
+			dst[off] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i:]))
+			off++
+		}
+	}
+	return nil
+}
+
+// Decompress32 decodes len(dst) float32 values from data into dst.
+func Decompress32(dst []float32, data []byte) error {
+	off := 0
+	for off < len(dst) {
+		if len(data) < 4 {
+			return errCorrupt
+		}
+		clen := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < clen {
+			return errCorrupt
+		}
+		fr := flate.NewReader(bytes.NewReader(data[:clen]))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return err
+		}
+		data = data[clen:]
+		if len(raw)%4 != 0 || off+len(raw)/4 > len(dst) {
+			return errCorrupt
+		}
+		for i := 0; i < len(raw); i += 4 {
+			dst[off] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i:]))
+			off++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, BlockValues+5000) // two blocks, second partial
+	for i := range src {
+		src[i] = float64(r.Intn(1000)) / 10
+	}
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	bits := float64(len(data)*8) / float64(len(src))
+	if bits >= 64 {
+		t.Fatalf("no compression: %.1f bits/value", bits)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	if data := Compress(nil); len(data) != 0 {
+		t.Fatalf("empty input produced %d bytes", len(data))
+	}
+	if err := Decompress(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLossless(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLossless32(t *testing.T) {
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b)
+		}
+		data := Compress32(src)
+		got := make([]float32, len(src))
+		if err := Decompress32(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := []float64{1.5, 2.5}
+	data := Compress(src)
+	got := make([]float64, 2)
+	if err := Decompress(got, data[:3]); err == nil {
+		t.Fatal("want error on truncated frame")
+	}
+	if err := Decompress(got, nil); err == nil {
+		t.Fatal("want error on empty stream with nonzero dst")
+	}
+}

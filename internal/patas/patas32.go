@@ -1,0 +1,93 @@
+package patas
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/bits"
+)
+
+var errShort = errors.New("patas: truncated stream")
+
+// 32-bit Patas (for the Table 7 comparison): identical structure with a
+// 4-byte first value and XOR payloads of at most 4 significant bytes.
+
+// Compress32 encodes float32 values and returns the byte stream.
+func Compress32(src []float32) []byte {
+	out := make([]byte, 0, len(src)*6)
+	if len(src) == 0 {
+		return out
+	}
+	var stored [nPrev]uint32
+	indices := make([]int, lsbMask+1)
+	for i := range indices {
+		indices[i] = -(nPrev + 1)
+	}
+	first := math.Float32bits(src[0])
+	out = binary.LittleEndian.AppendUint32(out, first)
+	stored[0] = first
+	indices[uint64(first)&lsbMask] = 0
+
+	var scratch [4]byte
+	for idx := 1; idx < len(src); idx++ {
+		cur := math.Float32bits(src[idx])
+		key := uint64(cur) & lsbMask
+		refIdx := (idx - 1) % nPrev
+		xor := stored[refIdx] ^ cur
+		if cand := indices[key]; cand >= 0 && idx-cand < nPrev {
+			tempXor := cur ^ stored[cand%nPrev]
+			if bits.TrailingZeros32(tempXor) > threshold {
+				refIdx = cand % nPrev
+				xor = tempXor
+			}
+		}
+		trailBytes := 0
+		sigBytes := 0
+		if xor != 0 {
+			trailBytes = bits.TrailingZeros32(xor) / 8
+			shifted := xor >> (8 * trailBytes)
+			sigBytes = (bits.Len32(shifted) + 7) / 8
+			binary.LittleEndian.PutUint32(scratch[:], shifted)
+		}
+		out = binary.LittleEndian.AppendUint16(out, header(refIdx, trailBytes, sigBytes))
+		out = append(out, scratch[:sigBytes]...)
+
+		stored[idx%nPrev] = cur
+		indices[key] = idx
+	}
+	return out
+}
+
+// Decompress32 decodes len(dst) float32 values from data into dst.
+func Decompress32(dst []float32, data []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	if len(data) < 4 {
+		return errShort
+	}
+	var stored [nPrev]uint32
+	first := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	dst[0] = math.Float32frombits(first)
+	stored[0] = first
+	var scratch [4]byte
+	for i := 1; i < len(dst); i++ {
+		if len(data) < 2 {
+			return errShort
+		}
+		refIdx, trailBytes, sigBytes := unheader(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < sigBytes {
+			return errShort
+		}
+		scratch = [4]byte{}
+		copy(scratch[:], data[:sigBytes])
+		data = data[sigBytes:]
+		xor := binary.LittleEndian.Uint32(scratch[:]) << (8 * trailBytes)
+		cur := stored[refIdx] ^ xor
+		dst[i] = math.Float32frombits(cur)
+		stored[i%nPrev] = cur
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package patas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []float64) []byte {
+	t.Helper()
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v (%#x), want %v (%#x)",
+				i, got[i], math.Float64bits(got[i]), src[i], math.Float64bits(src[i]))
+		}
+	}
+	return data
+}
+
+func TestHeaderPacking(t *testing.T) {
+	for _, c := range []struct{ idx, tb, sb int }{
+		{0, 0, 0}, {127, 7, 8}, {64, 3, 5}, {1, 0, 8},
+	} {
+		i, tb, sb := unheader(header(c.idx, c.tb, c.sb))
+		if i != c.idx || tb != c.tb || sb != c.sb {
+			t.Fatalf("header(%v) round trip = (%d,%d,%d)", c, i, tb, sb)
+		}
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []float64{1.0, 1.0, 1.5, 2.5, 100.25, -3.75})
+	roundTrip(t, nil)
+	roundTrip(t, []float64{42.5})
+	roundTrip(t, []float64{
+		0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -math.Pi,
+	})
+}
+
+func TestRepeatsCostTwoBytes(t *testing.T) {
+	src := make([]float64, 1024)
+	for i := range src {
+		src[i] = 9.75
+	}
+	data := roundTrip(t, src)
+	// First value 8 bytes + 2-byte header per repeat (zero payload).
+	want := 8 + (len(src)-1)*2
+	if len(data) != want {
+		t.Fatalf("repeats took %d bytes, want %d", len(data), want)
+	}
+}
+
+func TestCompressesSimilarValues(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 4096)
+	v := 100.0
+	for i := range src {
+		v += math.Round(r.NormFloat64()*10) / 100
+		src[i] = v
+	}
+	data := roundTrip(t, src)
+	bits := float64(len(data)*8) / float64(len(src))
+	if bits >= 64 {
+		t.Fatalf("no compression: %.1f bits/value", bits)
+	}
+}
+
+func TestQuickLossless(t *testing.T) {
+	f := func(raw []uint64, dups []uint16) bool {
+		src := make([]float64, 0, len(raw)+len(dups))
+		for _, b := range raw {
+			src = append(src, math.Float64frombits(b))
+		}
+		for _, d := range dups {
+			if len(src) == 0 {
+				break
+			}
+			src = append(src, src[int(d)%len(src)])
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLossless32(t *testing.T) {
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b)
+		}
+		data := Compress32(src)
+		got := make([]float32, len(src))
+		if err := Decompress32(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	src := []float64{1.5, 2.5, 3.5}
+	data := Compress(src)
+	got := make([]float64, len(src))
+	for cut := 0; cut < len(data); cut++ {
+		if err := Decompress(got, data[:cut]); err == nil {
+			t.Fatalf("want error at cut %d", cut)
+		}
+	}
+}

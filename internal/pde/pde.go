@@ -1,0 +1,184 @@
+// Package pde implements PseudoDecimals (Kuschewski et al., BtrBlocks,
+// SIGMOD'23), the decimal-based baseline ALP strongly enhances. Each
+// value is independently brute-force searched for the smallest exponent
+// e such that round(v*10^e) is a small integer that reconstructs v; the
+// per-value digits and exponents form two integer streams (digits
+// FFOR-packed, exponents bit-packed), and unrepresentable values are
+// patched exceptions.
+//
+// The two properties the paper measures follow directly from this
+// design: compression is extremely slow (a per-value search), while
+// decompression is fast (one multiply and a table lookup per value) —
+// but the per-value exponent costs ~5 bits that ALP amortizes across
+// the whole vector.
+package pde
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/fastlanes"
+	"github.com/goalp/alp/internal/vector"
+)
+
+var errCorrupt = errors.New("pde: corrupt stream")
+
+// maxExponent bounds the per-value exponent search. PDE keeps digits
+// within 32 bits (§2.5: "these high exponents that lead to big integers
+// are not used by PDE"), so exponents stay small in practice.
+const maxExponent = 22
+
+// maxDigits keeps the significant digits within an int32, as in
+// BtrBlocks.
+const maxDigits = 1 << 31
+
+// expWidth is the bit width of the per-value exponent stream.
+const expWidth = 5
+
+var f10 = [maxExponent + 1]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+var if10 = [maxExponent + 1]float64{
+	1e0, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11,
+	1e-12, 1e-13, 1e-14, 1e-15, 1e-16, 1e-17, 1e-18, 1e-19, 1e-20, 1e-21, 1e-22,
+}
+
+// findDecimal searches the smallest exponent representing v exactly.
+func findDecimal(v float64) (digits int64, exp int, ok bool) {
+	for e := 0; e <= maxExponent; e++ {
+		scaled := v * f10[e]
+		if scaled < -maxDigits || scaled > maxDigits {
+			return 0, 0, false // digits would overflow int32
+		}
+		d := int64(math.Round(scaled))
+		if math.Float64bits(float64(d)*if10[e]) == math.Float64bits(v) {
+			return d, e, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Compress encodes src vector-at-a-time and returns the byte stream.
+func Compress(src []float64) []byte {
+	var out []byte
+	for v := 0; v < vector.VectorsIn(len(src)); v++ {
+		lo, hi := vector.Bounds(v, len(src))
+		out = compressVector(out, src[lo:hi])
+	}
+	return out
+}
+
+func compressVector(out []byte, src []float64) []byte {
+	n := len(src)
+	digits := make([]int64, n)
+	exps := make([]uint64, n)
+	var excPos []uint16
+	var excVals []float64
+	for i, v := range src {
+		d, e, ok := findDecimal(v)
+		if !ok {
+			excPos = append(excPos, uint16(i))
+			excVals = append(excVals, v)
+			continue
+		}
+		digits[i] = d
+		exps[i] = uint64(e)
+	}
+	df := fastlanes.EncodeFFOR(digits)
+	expWords := make([]uint64, bitpack.WordCount(n, expWidth))
+	bitpack.Pack(expWords, exps, expWidth, 0)
+
+	out = binary.LittleEndian.AppendUint16(out, uint16(n))
+	out = binary.LittleEndian.AppendUint64(out, uint64(df.Base))
+	out = append(out, byte(df.Width))
+	for _, w := range df.Words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	for _, w := range expWords {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(excPos)))
+	for _, p := range excPos {
+		out = binary.LittleEndian.AppendUint16(out, p)
+	}
+	for _, v := range excVals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// Decompress decodes len(dst) values from data into dst.
+func Decompress(dst []float64, data []byte) error {
+	for off := 0; off < len(dst); {
+		n, consumed, err := decompressVector(dst[off:], data)
+		if err != nil {
+			return err
+		}
+		data = data[consumed:]
+		off += n
+	}
+	return nil
+}
+
+func decompressVector(dst []float64, data []byte) (n, consumed int, err error) {
+	if len(data) < 11 {
+		return 0, 0, errCorrupt
+	}
+	n = int(binary.LittleEndian.Uint16(data))
+	if n == 0 || n > len(dst) {
+		return 0, 0, errCorrupt
+	}
+	base := int64(binary.LittleEndian.Uint64(data[2:]))
+	width := uint(data[10])
+	if width > 64 {
+		return 0, 0, errCorrupt
+	}
+	pos := 11
+	nw := bitpack.WordCount(n, width)
+	ne := bitpack.WordCount(n, expWidth)
+	if len(data) < pos+8*(nw+ne)+2 {
+		return 0, 0, errCorrupt
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	expWords := make([]uint64, ne)
+	for i := range expWords {
+		expWords[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	ff := fastlanes.FFOR{Base: base, Width: width, N: n, Words: words}
+	digits := make([]int64, n)
+	ff.Decode(digits)
+	exps := make([]uint64, n)
+	bitpack.Unpack(exps, expWords, expWidth, 0)
+
+	for i := 0; i < n; i++ {
+		e := exps[i]
+		if e > maxExponent {
+			return 0, 0, errCorrupt
+		}
+		dst[i] = float64(digits[i]) * if10[e]
+	}
+
+	excCount := int(binary.LittleEndian.Uint16(data[pos:]))
+	pos += 2
+	if len(data) < pos+excCount*10 {
+		return 0, 0, errCorrupt
+	}
+	vpos := pos + excCount*2 // values follow the position array
+	for k := 0; k < excCount; k++ {
+		p := int(binary.LittleEndian.Uint16(data[pos+2*k:]))
+		if p >= n {
+			return 0, 0, errCorrupt
+		}
+		dst[p] = math.Float64frombits(binary.LittleEndian.Uint64(data[vpos+8*k:]))
+	}
+	return n, vpos + excCount*8, nil
+}

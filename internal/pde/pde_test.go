@@ -1,0 +1,116 @@
+package pde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindDecimal(t *testing.T) {
+	cases := []struct {
+		v      float64
+		digits int64
+		exp    int
+	}{
+		{5, 5, 0}, {2.5, 25, 1}, {0.001, 1, 3}, {-12.75, -1275, 2},
+	}
+	for _, c := range cases {
+		d, e, ok := findDecimal(c.v)
+		if !ok || d != c.digits || e != c.exp {
+			t.Errorf("findDecimal(%v) = (%d, %d, %v), want (%d, %d, true)", c.v, d, e, ok, c.digits, c.exp)
+		}
+	}
+	if _, _, ok := findDecimal(math.NaN()); ok {
+		t.Error("NaN must not be representable")
+	}
+	if _, _, ok := findDecimal(math.Pi); ok {
+		t.Error("Pi must not be representable")
+	}
+	if _, _, ok := findDecimal(1e18); ok {
+		t.Error("digits beyond int32 must not be representable")
+	}
+}
+
+func roundTrip(t *testing.T, src []float64) []byte {
+	t.Helper()
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v (%#x), want %v (%#x)",
+				i, got[i], math.Float64bits(got[i]), src[i], math.Float64bits(src[i]))
+		}
+	}
+	return data
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []float64{1.5, 2.25, 100.125, -3.5, 0})
+	roundTrip(t, nil)
+	roundTrip(t, []float64{42.5})
+}
+
+func TestRoundTripSpecialsAsExceptions(t *testing.T) {
+	roundTrip(t, []float64{
+		0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, math.Pi,
+	})
+}
+
+func TestRoundTripMultiVector(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, 3000) // spans three vectors, last partial
+	for i := range src {
+		src[i] = float64(r.Intn(100000)) / 100
+	}
+	data := roundTrip(t, src)
+	bits := float64(len(data)*8) / float64(len(src))
+	if bits >= 64 {
+		t.Fatalf("no compression: %.1f bits/value", bits)
+	}
+}
+
+func TestPerValueExponentsVary(t *testing.T) {
+	// Mixed precisions in one vector: PDE handles them per value.
+	src := []float64{1.5, 0.001, 12345, 0.000002, 7.25, -0.5}
+	roundTrip(t, src)
+}
+
+func TestQuickLossless(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		data := Compress(src)
+		got := make([]float64, len(src))
+		if err := Decompress(got, data); err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := []float64{1.5, 2.5, 3.5}
+	data := Compress(src)
+	got := make([]float64, len(src))
+	if err := Decompress(got, data[:5]); err == nil {
+		t.Fatal("want error on truncated stream")
+	}
+	if err := Decompress(got, nil); err == nil {
+		t.Fatal("want error on empty stream")
+	}
+}

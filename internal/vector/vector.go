@@ -1,0 +1,45 @@
+// Package vector defines the vectorized-execution constants and small
+// helpers shared by every codec in this repository.
+//
+// Following the paper (§2, §4), data is processed in vectors of 1024
+// values, and vectors are grouped into row-groups of 100 vectors. All
+// per-vector metadata (exponent, factor, bit width, FOR base, exception
+// count) is stored once per vector so its cost is amortized over 1024
+// values; all per-row-group metadata (scheme choice, sampled (e,f)
+// combinations, ALP_rd cut position and dictionary) is amortized over
+// 102400 values.
+package vector
+
+// Size is the number of values in one vector. The paper fixes it to 1024
+// so a vector of doubles (8 KiB) comfortably fits in the L1 cache.
+const Size = 1024
+
+// RowGroupVectors is the number of vectors in one row-group. The paper
+// fixes it to 100 to emulate common OLAP row-group sizes (e.g. DuckDB).
+const RowGroupVectors = 100
+
+// RowGroupSize is the number of values in a full row-group.
+const RowGroupSize = Size * RowGroupVectors
+
+// VectorsIn returns how many vectors are needed to hold n values. The
+// last vector may be partial.
+func VectorsIn(n int) int {
+	return (n + Size - 1) / Size
+}
+
+// RowGroupsIn returns how many row-groups are needed to hold n values.
+// The last row-group may be partial.
+func RowGroupsIn(n int) int {
+	return (n + RowGroupSize - 1) / RowGroupSize
+}
+
+// Bounds returns the [lo, hi) value range of vector v within a column of
+// n values.
+func Bounds(v, n int) (lo, hi int) {
+	lo = v * Size
+	hi = lo + Size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

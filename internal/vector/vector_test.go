@@ -1,0 +1,48 @@
+package vector
+
+import "testing"
+
+func TestConstants(t *testing.T) {
+	// The paper's constants: vectors of 1024 values, row-groups of 100
+	// vectors.
+	if Size != 1024 || RowGroupVectors != 100 || RowGroupSize != 102400 {
+		t.Fatalf("constants changed: %d %d %d", Size, RowGroupVectors, RowGroupSize)
+	}
+}
+
+func TestVectorsIn(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {1023, 1}, {1024, 1}, {1025, 2}, {102400, 100}, {102401, 101},
+	}
+	for _, c := range cases {
+		if got := VectorsIn(c.n); got != c.want {
+			t.Errorf("VectorsIn(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRowGroupsIn(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {102400, 1}, {102401, 2}, {204800, 2},
+	}
+	for _, c := range cases {
+		if got := RowGroupsIn(c.n); got != c.want {
+			t.Errorf("RowGroupsIn(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	cases := []struct{ v, n, lo, hi int }{
+		{0, 5000, 0, 1024},
+		{1, 5000, 1024, 2048},
+		{4, 5000, 4096, 5000}, // partial last vector
+		{0, 100, 0, 100},
+	}
+	for _, c := range cases {
+		lo, hi := Bounds(c.v, c.n)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("Bounds(%d, %d) = (%d, %d), want (%d, %d)", c.v, c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package alp
+
+import (
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Writer compresses a stream of float64 values incrementally: values
+// are buffered until a full row-group (RowGroupSize values) is
+// available, then sampled and encoded; Close encodes the remainder and
+// serializes the column. Memory use is bounded by one raw row-group
+// plus the compressed output.
+type Writer struct {
+	pending []float64
+	groups  []format.RowGroup
+	zones   format.ZoneMap
+	n       int
+	closed  bool
+}
+
+// NewWriter returns a Writer ready for use. The zero value is also
+// usable.
+func NewWriter() *Writer { return &Writer{} }
+
+// Write buffers values for compression. It may be called any number of
+// times with any slice sizes; full row-groups are compressed eagerly.
+// Write panics if called after Close.
+func (w *Writer) Write(values []float64) {
+	if w.closed {
+		panic("alp: Write after Close")
+	}
+	w.pending = append(w.pending, values...)
+	for len(w.pending) >= vector.RowGroupSize {
+		w.flush(w.pending[:vector.RowGroupSize])
+		w.pending = w.pending[vector.RowGroupSize:]
+	}
+}
+
+func (w *Writer) flush(group []float64) {
+	w.groups = append(w.groups, format.EncodeRowGroup(group, w.n))
+	zm := format.BuildZoneMap(group)
+	w.zones.Min = append(w.zones.Min, zm.Min...)
+	w.zones.Max = append(w.zones.Max, zm.Max...)
+	w.zones.HasValues = append(w.zones.HasValues, zm.HasValues...)
+	w.n += len(group)
+}
+
+// Len returns the number of values written so far.
+func (w *Writer) Len() int { return w.n + len(w.pending) }
+
+// Close compresses any buffered remainder and returns the serialized
+// column. The Writer must not be used afterwards.
+func (w *Writer) Close() []byte {
+	if !w.closed {
+		if len(w.pending) > 0 {
+			w.flush(w.pending)
+			w.pending = nil
+		}
+		w.closed = true
+	}
+	col := &format.Column{N: w.n, RowGroups: w.groups, Zones: &w.zones}
+	return col.Marshal()
+}
+
+// Reader decompresses a column stream vector-at-a-time, the access
+// pattern of a vectorized scan operator.
+type Reader struct {
+	col     *Column
+	next    int
+	scratch []int64
+}
+
+// NewReader parses data and returns a vector-at-a-time reader.
+func NewReader(data []byte) (*Reader, error) {
+	col, err := Open(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{col: col, scratch: make([]int64, vector.Size)}, nil
+}
+
+// Len returns the total number of values in the stream.
+func (r *Reader) Len() int { return r.col.Len() }
+
+// Next decompresses the next vector into dst and returns the number of
+// values written, or 0 when the stream is exhausted. dst must have room
+// for VectorSize values.
+func (r *Reader) Next(dst []float64) (int, error) {
+	if r.next >= r.col.NumVectors() {
+		return 0, nil
+	}
+	n, err := r.col.ReadVector(r.next, dst)
+	if err != nil {
+		return 0, err
+	}
+	r.next++
+	return n, nil
+}
+
+// Reset rewinds the reader to the first vector.
+func (r *Reader) Reset() { r.next = 0 }
