@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run; covers the obs atomic counters from every
+# morsel-parallel scan test. -short skips the timing-sensitive
+# overhead-guard assertions that are meaningless under the race
+# detector's slowdown.
+race:
+	$(GO) test -race -short ./...
+
+# One iteration of every benchmark: catches bit-rot in bench code
+# (including BenchmarkEncodeObsOff/On) without burning CI minutes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The full PR gate, mirrored by .github/workflows/ci.yml.
+check: vet build test race bench-smoke
+
+clean:
+	$(GO) clean ./...

@@ -64,10 +64,11 @@ func Decode(data []byte) ([]float64, error) {
 
 // Column provides random access into a compressed column.
 //
-// A Column is not safe for concurrent use: ReadVector reuses an
-// internal scratch buffer. For parallel scans, Open the same byte
-// stream once per goroutine (parsing is cheap relative to a scan) or
-// partition the work the way internal/engine does.
+// A Column's ReadVector method is not safe for concurrent use: it
+// reuses an internal scratch buffer. For parallel scans, use
+// ReadVectorInto with one caller-owned scratch buffer per goroutine —
+// the compressed representation itself is immutable and may be shared
+// freely across goroutines.
 type Column struct {
 	col     *format.Column
 	scratch []int64
@@ -109,6 +110,25 @@ func (c *Column) ReadVector(i int, dst []float64) (int, error) {
 	return c.col.DecodeVector(i, dst, c.scratch), nil
 }
 
+// ReadVectorInto is ReadVector with caller-owned decode state: scratch
+// is the integer staging buffer the decimal scheme decodes through. It
+// must hold at least VectorSize int64s (pass nil to allocate per call).
+// Because the Column itself is only read, any number of goroutines may
+// call ReadVectorInto concurrently on the same Column as long as each
+// uses its own dst and scratch — no per-goroutine re-Open needed.
+func (c *Column) ReadVectorInto(i int, dst []float64, scratch []int64) (int, error) {
+	if i < 0 || i >= c.col.NumVectors() {
+		return 0, fmt.Errorf("alp: vector %d out of range [0, %d)", i, c.col.NumVectors())
+	}
+	if len(dst) < c.col.VectorLen(i) {
+		return 0, errors.New("alp: destination buffer too small")
+	}
+	if scratch != nil && len(scratch) < c.col.VectorLen(i) {
+		return 0, errors.New("alp: scratch buffer too small (need VectorSize int64s)")
+	}
+	return c.col.DecodeVector(i, dst, scratch), nil
+}
+
 // Values decompresses the whole column.
 func (c *Column) Values() []float64 { return c.col.Decode() }
 
@@ -124,6 +144,23 @@ func (c *Column) CompressedSize() int { return c.col.SizeBits() / 8 }
 
 // UsedRD reports whether any row-group used the ALP_rd scheme.
 func (c *Column) UsedRD() bool { return c.col.UsedRD() }
+
+// Exceptions returns the total number of exception slots across all
+// vectors of the column — values the decimal scheme (or the ALP_rd
+// dictionary) could not represent and stored verbatim instead.
+func (c *Column) Exceptions() int { return c.col.Exceptions() }
+
+// NumRowGroups returns the number of row-groups in the column.
+func (c *Column) NumRowGroups() int { return len(c.col.RowGroups) }
+
+// Scheme returns the encoding scheme first-level sampling chose for
+// row-group g (SchemeALP or SchemeRD).
+func (c *Column) Scheme(g int) (Scheme, error) {
+	if g < 0 || g >= len(c.col.RowGroups) {
+		return 0, fmt.Errorf("alp: row-group %d out of range [0, %d)", g, len(c.col.RowGroups))
+	}
+	return Scheme(c.col.RowGroups[g].Scheme), nil
+}
 
 // SumRange sums the values in [lo, hi], using per-vector min/max zone
 // maps to skip vectors that cannot contain qualifying values — a range

@@ -9,15 +9,26 @@
 //	alpbench -exp fig1 -ghz 3.0          # ratio/speed scatter at 3 GHz
 //	alpbench -exp table6 -scale 4000000  # end-to-end engine experiment
 //	alpbench -exp all                    # everything
+//
+// Observability: -metrics ADDR enables the codec-wide stats collector
+// and serves, for the lifetime of the run, an HTTP endpoint with
+// /metrics (the alp.Stats snapshot as JSON), /debug/vars (expvar,
+// including the published "alp" variable) and /debug/pprof (CPU, heap,
+// mutex and block profiles). -stats prints the final counter snapshot
+// to stderr after the experiments finish.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/goalp/alp"
 	"github.com/goalp/alp/internal/bench"
 	"github.com/goalp/alp/internal/dataset"
 )
@@ -30,8 +41,27 @@ func main() {
 		minDur  = flag.Duration("mindur", 20*time.Millisecond, "minimum measurement window per timing point")
 		scale   = flag.Int("scale", 2_000_000, "values for the end-to-end experiments (paper: 1e9)")
 		threads = flag.String("threads", "1,8,16", "thread counts for the end-to-end experiments")
+		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) and enable stats collection")
+		stats   = flag.Bool("stats", false, "enable stats collection and print the final snapshot to stderr")
 	)
 	flag.Parse()
+
+	if *metrics != "" || *stats {
+		alp.EnableStats()
+	}
+	if *metrics != "" {
+		expvar.Publish("alp", expvar.Func(func() any { return alp.ReadStats() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, alp.ReadStats().String())
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "alpbench: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "alpbench: serving /metrics, /debug/vars, /debug/pprof on %s\n", *metrics)
+	}
 
 	opt := bench.Options{N: *n, GHz: *ghz, MinDur: *minDur}
 	var threadList []int
@@ -75,4 +105,11 @@ func main() {
 	run("table7", func() { bench.RunTable7(w, opt) })
 	run("alprd", func() { bench.RunALPRD(w, opt) })
 	run("filter", func() { bench.RunFilter(w, opt, *scale) })
+
+	if *stats {
+		s := alp.ReadStats()
+		fmt.Fprintln(os.Stderr, "alpbench: codec stats:", s.String())
+		fmt.Fprintf(os.Stderr, "alpbench: encode %.1f ns/value, decode %.1f ns/value, zone-map skip rate %.1f%%\n",
+			s.EncodeNsPerValue(), s.DecodeNsPerValue(), 100*s.SkipRate())
+	}
 }

@@ -10,6 +10,11 @@
 //	alpfile [-text] compress   input.bin  output.alp
 //	alpfile [-text] decompress input.alp  output.bin
 //	alpfile stat input.alp
+//	alpfile [-v] inspect input.alp
+//
+// inspect prints a per-row-group report of every adaptive decision the
+// encoder made — scheme, (e,f) candidates, bit widths, exception
+// counts, compressed bytes — and with -v a per-vector breakdown.
 package main
 
 import (
@@ -17,18 +22,21 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"github.com/goalp/alp"
 )
 
 func main() {
 	text := flag.Bool("text", false, "treat raw files as text, one value per line")
+	verbose := flag.Bool("v", false, "inspect: also print the per-vector breakdown")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: alpfile [-text] compress|decompress|stat <input> [output]")
+		fmt.Fprintln(os.Stderr, "usage: alpfile [-text] [-v] compress|decompress|stat|inspect <input> [output]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +53,8 @@ func main() {
 		err = decompress(args[1], arg(args, 2), *text)
 	case "stat":
 		err = stat(args[1])
+	case "inspect":
+		err = inspect(os.Stdout, args[1], *verbose)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -177,6 +187,78 @@ func stat(in string) error {
 	fmt.Printf("bits/value:   %.2f (raw float64 is 64)\n", col.BitsPerValue())
 	fmt.Printf("ratio:        %.2fx\n", 64/col.BitsPerValue())
 	fmt.Printf("scheme:       %s\n", schemeName(col))
+	return nil
+}
+
+// inspect dumps the per-row-group (and with verbose, per-vector)
+// introspection report of a compressed column.
+func inspect(w io.Writer, in string, verbose bool) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	info, err := alp.ColumnStats(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %s\n", in, info.Summary())
+	fmt.Fprintf(w, "stream:     %d bytes (payload %d bytes, %.2f bits/value)\n",
+		len(data), info.CompressedBits/8, info.BitsPerValue)
+	fmt.Fprintf(w, "layout:     %d row-groups, %d vectors, zone map: %v\n\n",
+		info.NumRowGroups, info.NumVectors, info.HasZoneMap)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "rg\tscheme\tvalues\tvectors\te/f | cut\twidth(min/avg/max)\texc\tbytes\t")
+	for _, rg := range info.RowGroups {
+		minW, maxW, sumW := ^uint(0), uint(0), uint(0)
+		for _, v := range rg.Vectors {
+			if v.BitWidth < minW {
+				minW = v.BitWidth
+			}
+			if v.BitWidth > maxW {
+				maxW = v.BitWidth
+			}
+			sumW += v.BitWidth
+		}
+		avgW := 0.0
+		if len(rg.Vectors) > 0 {
+			avgW = float64(sumW) / float64(len(rg.Vectors))
+		} else {
+			minW = 0
+		}
+		params := ""
+		if rg.Scheme == alp.SchemeRD {
+			params = fmt.Sprintf("cut=%d dict=%d", rg.CutPosition, rg.DictSize)
+		} else {
+			combos := make([]string, 0, len(rg.Combos))
+			for _, c := range rg.Combos {
+				combos = append(combos, fmt.Sprintf("%d,%d", c.E, c.F))
+			}
+			params = strings.Join(combos, " ")
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%s\t%d/%.1f/%d\t%d\t%d\t\n",
+			rg.Index, rg.Scheme, rg.Values, len(rg.Vectors), params,
+			minW, avgW, maxW, rg.Exceptions, rg.CompressedBits/8)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if verbose {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "vec\tscheme\tvalues\te\tf\twidth\texc\tbytes\t")
+		for _, rg := range info.RowGroups {
+			for _, v := range rg.Vectors {
+				fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+					v.Index, rg.Scheme, v.Values, v.E, v.F, v.BitWidth,
+					v.Exceptions, (v.CompressedBits+7)/8)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/goalp/alp/internal/bitpack"
 	"github.com/goalp/alp/internal/fastlanes"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -236,7 +237,9 @@ func SampleRowGroup32(values []float32) Decision {
 
 // ChooseForVector32 is the float32 counterpart of ChooseForVector.
 func ChooseForVector32(vec []float32, combos []Combo) (Combo, int) {
+	o := obs.Active()
 	if len(combos) == 1 {
+		o.SecondStageSkipped()
 		return combos[0], 0
 	}
 	sample := sampleEquidistant32(vec, SecondStageSamples)
@@ -244,6 +247,7 @@ func ChooseForVector32(vec []float32, combos []Combo) (Combo, int) {
 	bestCost, _ := comboCost32(sample, best)
 	tried := 1
 	worseStreak := 0
+	early := false
 	for _, c := range combos[1:] {
 		cost, _ := comboCost32(sample, c)
 		tried++
@@ -254,9 +258,11 @@ func ChooseForVector32(vec []float32, combos []Combo) (Combo, int) {
 		} else {
 			worseStreak++
 			if worseStreak >= 2 {
+				early = tried < len(combos)
 				break
 			}
 		}
 	}
+	o.SecondStage(tried, early)
 	return best, tried
 }

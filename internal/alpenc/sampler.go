@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -166,7 +167,9 @@ func SampleRowGroup(values []float64) Decision {
 // entirely. It returns the chosen combination and how many candidates
 // were tried (for the sampling-overhead experiment, §4.2).
 func ChooseForVector(vec []float64, combos []Combo) (Combo, int) {
+	o := obs.Active()
 	if len(combos) == 1 {
+		o.SecondStageSkipped()
 		return combos[0], 0
 	}
 	sample := sampleEquidistant(vec, SecondStageSamples)
@@ -174,6 +177,7 @@ func ChooseForVector(vec []float64, combos []Combo) (Combo, int) {
 	bestCost, _ := comboCost(sample, best)
 	tried := 1
 	worseStreak := 0
+	early := false
 	for _, c := range combos[1:] {
 		cost, _ := comboCost(sample, c)
 		tried++
@@ -184,9 +188,11 @@ func ChooseForVector(vec []float64, combos []Combo) (Combo, int) {
 		} else {
 			worseStreak++
 			if worseStreak >= 2 {
+				early = tried < len(combos)
 				break
 			}
 		}
 	}
+	o.SecondStage(tried, early)
 	return best, tried
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -70,14 +71,17 @@ func Sample(values []float64) *Encoder {
 	sample := rowGroupSample(values)
 	best := &Encoder{}
 	bestCost := math.MaxFloat64
+	cuts := 0
 	for p := minRight; p <= maxRight; p++ {
 		enc := buildEncoder(sample, uint8(p))
+		cuts++
 		cost := enc.estimateBits(sample)
 		if cost < bestCost {
 			bestCost = cost
 			best = enc
 		}
 	}
+	obs.Active().RDSampled(cuts, len(best.Dict))
 	return best
 }
 

@@ -81,7 +81,12 @@ func TestMeasureALPVariantsOrdering(t *testing.T) {
 		t.Fatalf("variants = %v %v %v", fused, unfused, scalar)
 	}
 	// The specialized kernels must clearly beat the generic loop; fused
-	// vs unfused ordering is asserted loosely (timing noise).
+	// vs unfused ordering is asserted loosely (timing noise). The race
+	// detector slows the loops non-uniformly, so only the sanity checks
+	// above hold there.
+	if raceEnabled {
+		t.Skip("timing ordering is not meaningful under the race detector")
+	}
 	if fused < scalar {
 		t.Fatalf("fused (%v) must beat the generic scalar loop (%v)", fused, scalar)
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// ordering assertions are skipped under its ~10x non-uniform slowdown.
+const raceEnabled = true

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -53,6 +54,8 @@ func (r *Relation) run(threads int, fn func(p Partition, buf []float64, acc *flo
 	if threads < 1 {
 		threads = 1
 	}
+	o := obs.Active()
+	o.ScanWorkers(threads)
 	var next atomic.Int64
 	results := make([]float64, threads)
 	var wg sync.WaitGroup
@@ -66,6 +69,7 @@ func (r *Relation) run(threads int, fn func(p Partition, buf []float64, acc *flo
 				if i >= len(r.Parts) {
 					return
 				}
+				o.MorselClaim()
 				fn(r.Parts[i], buf, &results[t])
 			}
 		}(t)
@@ -243,6 +247,8 @@ func (r *Relation) SumRange(threads int, lo, hi float64) (sum float64, count, to
 	if threads < 1 {
 		threads = 1
 	}
+	o := obs.Active()
+	o.ScanWorkers(threads)
 	var next atomic.Int64
 	type acc struct {
 		sum            float64
@@ -260,6 +266,7 @@ func (r *Relation) SumRange(threads int, lo, hi float64) (sum float64, count, to
 				if i >= len(r.Parts) {
 					return
 				}
+				o.MorselClaim()
 				a := &results[t]
 				if rs, ok := r.Parts[i].(RangeScanner); ok {
 					s, c, tv := rs.SumRange(lo, hi)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/goalp/alp/internal/dataset"
 	"github.com/goalp/alp/internal/gorilla"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/patas"
 	"github.com/goalp/alp/internal/vector"
 )
@@ -123,5 +124,75 @@ func TestSumRangePushdown(t *testing.T) {
 		if aTouched > 4 {
 			t.Fatalf("ALP touched %d vectors, want <= 4 (3 qualifying + boundary)", aTouched)
 		}
+	}
+}
+
+// TestScanObservability checks the engine's scan-side metrics with
+// exact expected counts: morsel claims equal the number of partitions,
+// worker counts are recorded, and a SumRange over a monotone column
+// reports exactly the vectors the zone maps decoded vs. skipped.
+func TestScanObservability(t *testing.T) {
+	c := obs.Enable()
+	defer obs.Disable()
+
+	// 2 full row-groups + a partial third = 3 partitions; values rise
+	// monotonically so each vector covers a disjoint band.
+	n := 2*vector.RowGroupSize + 3*vector.Size
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i) / 100
+	}
+	r := BuildALP(values)
+	if len(r.Parts) != 3 {
+		t.Fatalf("%d partitions, want 3", len(r.Parts))
+	}
+
+	c.Reset()
+	if got := r.Scan(4); got != n {
+		t.Fatalf("Scan counted %d tuples, want %d", got, n)
+	}
+	s := c.Snapshot()
+	if s.MorselClaims != 3 {
+		t.Fatalf("MorselClaims = %d, want 3 (one per partition)", s.MorselClaims)
+	}
+	if s.ScanWorkers != 4 {
+		t.Fatalf("ScanWorkers = %d, want 4", s.ScanWorkers)
+	}
+	totalVectors := int64(vector.VectorsIn(n))
+	if s.VectorsDecoded != totalVectors {
+		t.Fatalf("VectorsDecoded = %d, want %d", s.VectorsDecoded, totalVectors)
+	}
+
+	// A predicate covering exactly the last 2 vectors of the column:
+	// every other vector must be skipped via zone maps, none decoded
+	// needlessly. [lo, hi] aligns with vector boundaries because values
+	// are monotone and vectors hold consecutive runs.
+	c.Reset()
+	lo := values[n-2*vector.Size]
+	hi := values[n-1]
+	sum, count, touched := r.SumRange(2, lo, hi)
+	if count != 2*vector.Size {
+		t.Fatalf("count = %d, want %d", count, 2*vector.Size)
+	}
+	var want float64
+	for i := n - 2*vector.Size; i < n; i++ {
+		want += values[i]
+	}
+	if math.Abs(sum-want) > 1e-6*want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	if touched != 2 {
+		t.Fatalf("touched = %d, want 2", touched)
+	}
+	s = c.Snapshot()
+	if s.MorselClaims != 3 || s.ScanWorkers != 2 || s.RangeScans != 3 {
+		t.Fatalf("claims/workers/scans = %d/%d/%d, want 3/2/3",
+			s.MorselClaims, s.ScanWorkers, s.RangeScans)
+	}
+	if s.VectorsDecoded != 2 {
+		t.Fatalf("VectorsDecoded = %d, want 2", s.VectorsDecoded)
+	}
+	if wantSkip := totalVectors - 2; s.VectorsSkipped != wantSkip {
+		t.Fatalf("VectorsSkipped = %d, want %d", s.VectorsSkipped, wantSkip)
 	}
 }

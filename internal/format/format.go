@@ -8,8 +8,11 @@
 package format
 
 import (
+	"time"
+
 	"github.com/goalp/alp/internal/alpenc"
 	"github.com/goalp/alp/internal/alprd"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -86,6 +89,11 @@ func EncodeRowGroup(values []float64, start int) RowGroup {
 }
 
 func encodeRowGroup(values []float64, start int, scratch []int64) RowGroup {
+	o := obs.Active()
+	var began time.Time
+	if o != nil {
+		began = time.Now()
+	}
 	rg := RowGroup{Start: start, N: len(values)}
 	dec := alpenc.SampleRowGroup(values)
 	if dec.UseRD || len(dec.Combos) == 0 {
@@ -93,7 +101,13 @@ func encodeRowGroup(values []float64, start int, scratch []int64) RowGroup {
 		rg.RD = alprd.Sample(values)
 		for v := 0; v < vector.VectorsIn(len(values)); v++ {
 			lo, hi := vector.Bounds(v, len(values))
-			rg.RDVectors = append(rg.RDVectors, rg.RD.EncodeVector(values[lo:hi]))
+			ev := rg.RD.EncodeVector(values[lo:hi])
+			o.VectorEncoded(ev.N, ev.Exceptions(), obs.WidthNone)
+			rg.RDVectors = append(rg.RDVectors, ev)
+		}
+		o.RowGroup(true)
+		if o != nil {
+			o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
 		}
 		return rg
 	}
@@ -102,8 +116,14 @@ func encodeRowGroup(values []float64, start int, scratch []int64) RowGroup {
 	for v := 0; v < vector.VectorsIn(len(values)); v++ {
 		lo, hi := vector.Bounds(v, len(values))
 		combo, tried := alpenc.ChooseForVector(values[lo:hi], dec.Combos)
-		rg.Vectors = append(rg.Vectors, alpenc.EncodeVector(values[lo:hi], combo, scratch))
+		ev := alpenc.EncodeVector(values[lo:hi], combo, scratch)
+		o.VectorEncoded(ev.N, ev.Exceptions(), ev.Ints.Width)
+		rg.Vectors = append(rg.Vectors, ev)
 		rg.SecondStageTried = append(rg.SecondStageTried, tried)
+	}
+	o.RowGroup(false)
+	if o != nil {
+		o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
 	}
 	return rg
 }
@@ -121,17 +141,28 @@ func (c *Column) VectorLen(i int) int {
 // and returns the number of values written. Only the addressed vector
 // is touched: this is the vector-skipping access path.
 func (c *Column) DecodeVector(i int, dst []float64, scratch []int64) int {
+	o := obs.Active()
+	var began time.Time
+	if o != nil {
+		began = time.Now()
+	}
 	g := i / vector.RowGroupVectors
 	local := i % vector.RowGroupVectors
 	rg := &c.RowGroups[g]
+	var n int
 	if rg.Scheme == SchemeRD {
 		v := &rg.RDVectors[local]
 		rg.RD.DecodeVector(v, dst[:v.N])
-		return v.N
+		n = v.N
+	} else {
+		v := &rg.Vectors[local]
+		v.Decode(dst[:v.N], scratch)
+		n = v.N
 	}
-	v := &rg.Vectors[local]
-	v.Decode(dst[:v.N], scratch)
-	return v.N
+	if o != nil {
+		o.VectorDecoded(n, time.Since(began).Nanoseconds())
+	}
+	return n
 }
 
 // Decode decompresses the whole column into a new slice.
@@ -216,10 +247,14 @@ func (c *Column) UsedRD() bool {
 // returns the sum, the match count, and how many vectors were
 // decompressed.
 func (c *Column) SumRange(lo, hi float64) (sum float64, count, touched int) {
+	o := obs.Active()
+	o.RangeScan()
+	skipped := 0
 	scratch := make([]int64, vector.Size)
 	buf := make([]float64, vector.Size)
 	for i := 0; i < c.NumVectors(); i++ {
 		if c.Zones != nil && !c.Zones.MayContain(i, lo, hi) {
+			skipped++
 			continue
 		}
 		n := c.DecodeVector(i, buf, scratch)
@@ -231,6 +266,7 @@ func (c *Column) SumRange(lo, hi float64) (sum float64, count, touched int) {
 			}
 		}
 	}
+	o.VectorsSkipped(skipped)
 	return sum, count, touched
 }
 

@@ -3,11 +3,13 @@ package format
 import (
 	"encoding/binary"
 	"math"
+	"time"
 
 	"github.com/goalp/alp/internal/alpenc"
 	"github.com/goalp/alp/internal/alprd"
 	"github.com/goalp/alp/internal/bitpack"
 	"github.com/goalp/alp/internal/fastlanes"
+	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -50,6 +52,11 @@ func EncodeColumn32(values []float32) *Column32 {
 }
 
 func encodeRowGroup32(values []float32, start int, scratch []int64) RowGroup32 {
+	o := obs.Active()
+	var began time.Time
+	if o != nil {
+		began = time.Now()
+	}
 	rg := RowGroup32{Start: start, N: len(values)}
 	dec := alpenc.SampleRowGroup32(values)
 	if dec.UseRD || len(dec.Combos) == 0 {
@@ -57,7 +64,13 @@ func encodeRowGroup32(values []float32, start int, scratch []int64) RowGroup32 {
 		rg.RD = alprd.Sample32(values)
 		for v := 0; v < vector.VectorsIn(len(values)); v++ {
 			lo, hi := vector.Bounds(v, len(values))
-			rg.RDVectors = append(rg.RDVectors, rg.RD.EncodeVector(values[lo:hi]))
+			ev := rg.RD.EncodeVector(values[lo:hi])
+			o.VectorEncoded(ev.N, ev.Exceptions(), obs.WidthNone)
+			rg.RDVectors = append(rg.RDVectors, ev)
+		}
+		o.RowGroup(true)
+		if o != nil {
+			o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
 		}
 		return rg
 	}
@@ -66,7 +79,13 @@ func encodeRowGroup32(values []float32, start int, scratch []int64) RowGroup32 {
 	for v := 0; v < vector.VectorsIn(len(values)); v++ {
 		lo, hi := vector.Bounds(v, len(values))
 		combo, _ := alpenc.ChooseForVector32(values[lo:hi], dec.Combos)
-		rg.Vectors = append(rg.Vectors, alpenc.EncodeVector32(values[lo:hi], combo, scratch))
+		ev := alpenc.EncodeVector32(values[lo:hi], combo, scratch)
+		o.VectorEncoded(ev.N, ev.Exceptions(), ev.Ints.Width)
+		rg.Vectors = append(rg.Vectors, ev)
+	}
+	o.RowGroup(false)
+	if o != nil {
+		o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
 	}
 	return rg
 }
@@ -77,17 +96,28 @@ func (c *Column32) NumVectors() int { return vector.VectorsIn(c.N) }
 // DecodeVector decompresses vector i into dst and returns the number of
 // values written.
 func (c *Column32) DecodeVector(i int, dst []float32, scratch []int64) int {
+	o := obs.Active()
+	var began time.Time
+	if o != nil {
+		began = time.Now()
+	}
 	g := i / vector.RowGroupVectors
 	local := i % vector.RowGroupVectors
 	rg := &c.RowGroups[g]
+	var n int
 	if rg.Scheme == SchemeRD {
 		v := &rg.RDVectors[local]
 		rg.RD.DecodeVector(v, dst[:v.N])
-		return v.N
+		n = v.N
+	} else {
+		v := &rg.Vectors[local]
+		v.Decode(dst[:v.N], scratch)
+		n = v.N
 	}
-	v := &rg.Vectors[local]
-	v.Decode(dst[:v.N], scratch)
-	return v.N
+	if o != nil {
+		o.VectorDecoded(n, time.Since(began).Nanoseconds())
+	}
+	return n
 }
 
 // Decode decompresses the whole column.

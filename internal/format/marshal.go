@@ -216,7 +216,13 @@ func Unmarshal(data []byte) (*Column, error) {
 		}
 		c.RowGroups = append(c.RowGroups, rg)
 	}
-	switch r.u8() {
+	flag := r.u8()
+	if r.err != nil {
+		// A truncated stream must not be mistaken for one that simply
+		// carries no zone map.
+		return nil, r.err
+	}
+	switch flag {
 	case 0: // no zone map
 	case 1:
 		nv := vector.VectorsIn(n)

@@ -1,0 +1,374 @@
+// Package obs is the codec-wide observability substrate: a
+// zero-dependency set of atomic counters that the encoder, the format
+// layer and the scan engine report into, so every adaptive decision ALP
+// makes at runtime — scheme selection per row-group, second-stage
+// sampling effort per vector, exception patching, zone-map skipping,
+// morsel claiming — is visible without a debugger.
+//
+// The design contract is the nil-safe collector pattern: every method
+// on *Collector is a no-op when the receiver is nil, so instrumented
+// hot paths pay exactly one predictable, well-predicted branch when
+// metrics are disabled. Call sites never guard with `if enabled`; they
+// just call methods on a possibly-nil pointer:
+//
+//	o := obs.Active()          // nil when collection is disabled
+//	...
+//	o.VectorDecoded(n, 0)      // no-op on nil, atomic adds otherwise
+//
+// All counters are atomics, so a single Collector can be shared by
+// every goroutine of a morsel-parallel scan and read concurrently via
+// Snapshot without stopping the world.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// MaxBitWidth is the largest FFOR bit width tracked by the per-width
+// histogram (float64 integers pack at 0..64 bits).
+const MaxBitWidth = 64
+
+// Collector accumulates codec metrics on atomic counters. The zero
+// value is ready for use; a nil *Collector is also valid and turns
+// every method into a cheap no-op.
+type Collector struct {
+	// Encode side.
+	rowGroupsALP   atomic.Int64 // row-groups encoded with the decimal scheme
+	rowGroupsRD    atomic.Int64 // row-groups that fell back to ALP_rd
+	vectorsEncoded atomic.Int64 // vectors encoded (both schemes)
+	encExceptions  atomic.Int64 // exception slots written during encode
+	encNs          atomic.Int64 // wall ns spent in row-group encoding
+	encValues      atomic.Int64 // values encoded
+
+	// Second-stage sampling (per-vector (e,f) choice, §3.2).
+	secondStageSkips atomic.Int64 // vectors where sampling was skipped (1 candidate)
+	secondStageEarly atomic.Int64 // vectors where the greedy search exited early
+	secondStageTried atomic.Int64 // candidate combinations evaluated in total
+	rdCutsTried      atomic.Int64 // ALP_rd cut positions evaluated during sampling
+	rdDictEntries    atomic.Int64 // ALP_rd dictionary entries chosen
+	bitWidthHist     [MaxBitWidth + 1]atomic.Int64
+	rdSampledGroups  atomic.Int64 // row-groups that ran ALP_rd sampling
+
+	// Decode / scan side.
+	vectorsDecoded atomic.Int64 // vectors decompressed (any access path)
+	vectorsSkipped atomic.Int64 // vectors skipped by zone-map push-down
+	decNs          atomic.Int64 // wall ns spent decompressing vectors
+	decValues      atomic.Int64 // values decompressed
+	rangeScans     atomic.Int64 // SumRange scans executed
+	morselClaims   atomic.Int64 // partitions claimed by scan workers
+	scanWorkers    atomic.Int64 // worker goroutines launched by the engine
+}
+
+// ---- encode-side hooks ----
+
+// RowGroup records the scheme chosen for one row-group.
+func (c *Collector) RowGroup(usedRD bool) {
+	if c == nil {
+		return
+	}
+	if usedRD {
+		c.rowGroupsRD.Add(1)
+	} else {
+		c.rowGroupsALP.Add(1)
+	}
+}
+
+// VectorEncoded records one encoded vector: its value count, its
+// exception count, and (for the decimal scheme) its FFOR bit width,
+// which feeds the bit-width histogram. Pass width > MaxBitWidth (e.g.
+// WidthNone) to leave the histogram untouched.
+func (c *Collector) VectorEncoded(values, exceptions int, width uint) {
+	if c == nil {
+		return
+	}
+	c.vectorsEncoded.Add(1)
+	c.encExceptions.Add(int64(exceptions))
+	if width <= MaxBitWidth {
+		c.bitWidthHist[width].Add(1)
+	}
+}
+
+// WidthNone is a sentinel bit width for vectors without an FFOR payload
+// (ALP_rd vectors); it keeps them out of the bit-width histogram.
+const WidthNone = MaxBitWidth + 1
+
+// EncodeTime records ns wall time spent encoding values.
+func (c *Collector) EncodeTime(ns int64, values int) {
+	if c == nil {
+		return
+	}
+	c.encNs.Add(ns)
+	c.encValues.Add(int64(values))
+}
+
+// SecondStageSkipped records a vector whose (e,f) choice needed no
+// sampling because first-level sampling produced a single candidate.
+func (c *Collector) SecondStageSkipped() {
+	if c == nil {
+		return
+	}
+	c.secondStageSkips.Add(1)
+}
+
+// SecondStage records one second-level sampling run: how many candidate
+// combinations were evaluated and whether the greedy search exited
+// before exhausting the candidate list.
+func (c *Collector) SecondStage(tried int, early bool) {
+	if c == nil {
+		return
+	}
+	c.secondStageTried.Add(int64(tried))
+	if early {
+		c.secondStageEarly.Add(1)
+	}
+}
+
+// RDSampled records one ALP_rd first-level sampling run: the number of
+// cut positions evaluated and the dictionary size chosen.
+func (c *Collector) RDSampled(cutsTried, dictEntries int) {
+	if c == nil {
+		return
+	}
+	c.rdSampledGroups.Add(1)
+	c.rdCutsTried.Add(int64(cutsTried))
+	c.rdDictEntries.Add(int64(dictEntries))
+}
+
+// ---- decode/scan-side hooks ----
+
+// VectorDecoded records one decompressed vector of n values taking ns
+// wall time (pass 0 ns when the caller does not time the decode).
+func (c *Collector) VectorDecoded(n int, ns int64) {
+	if c == nil {
+		return
+	}
+	c.vectorsDecoded.Add(1)
+	c.decValues.Add(int64(n))
+	c.decNs.Add(ns)
+}
+
+// VectorsSkipped records n vectors pruned by zone-map push-down without
+// touching their bytes.
+func (c *Collector) VectorsSkipped(n int) {
+	if c == nil {
+		return
+	}
+	c.vectorsSkipped.Add(int64(n))
+}
+
+// RangeScan records one zone-map range scan (SumRange).
+func (c *Collector) RangeScan() {
+	if c == nil {
+		return
+	}
+	c.rangeScans.Add(1)
+}
+
+// MorselClaim records one partition claimed by a scan worker.
+func (c *Collector) MorselClaim() {
+	if c == nil {
+		return
+	}
+	c.morselClaims.Add(1)
+}
+
+// ScanWorkers records n worker goroutines launched for a scan.
+func (c *Collector) ScanWorkers(n int) {
+	if c == nil {
+		return
+	}
+	c.scanWorkers.Add(int64(n))
+}
+
+// ---- snapshot ----
+
+// Snapshot is a point-in-time copy of every counter, safe to read,
+// compare and serialize. Field names are stable: they are the public
+// metric names surfaced through alp.Stats and expvar.
+type Snapshot struct {
+	RowGroupsALP     int64
+	RowGroupsRD      int64
+	VectorsEncoded   int64
+	EncodeExceptions int64
+	EncodeNs         int64
+	EncodeValues     int64
+
+	SecondStageSkips      int64
+	SecondStageEarlyExits int64
+	SecondStageTried      int64
+	RDSampledRowGroups    int64
+	RDCutsTried           int64
+	RDDictEntries         int64
+	BitWidthHist          [MaxBitWidth + 1]int64
+
+	VectorsDecoded int64
+	VectorsSkipped int64
+	DecodeNs       int64
+	DecodeValues   int64
+	RangeScans     int64
+	MorselClaims   int64
+	ScanWorkers    int64
+}
+
+// Snapshot copies the counters. A nil Collector yields a zero Snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	s.RowGroupsALP = c.rowGroupsALP.Load()
+	s.RowGroupsRD = c.rowGroupsRD.Load()
+	s.VectorsEncoded = c.vectorsEncoded.Load()
+	s.EncodeExceptions = c.encExceptions.Load()
+	s.EncodeNs = c.encNs.Load()
+	s.EncodeValues = c.encValues.Load()
+	s.SecondStageSkips = c.secondStageSkips.Load()
+	s.SecondStageEarlyExits = c.secondStageEarly.Load()
+	s.SecondStageTried = c.secondStageTried.Load()
+	s.RDSampledRowGroups = c.rdSampledGroups.Load()
+	s.RDCutsTried = c.rdCutsTried.Load()
+	s.RDDictEntries = c.rdDictEntries.Load()
+	for i := range s.BitWidthHist {
+		s.BitWidthHist[i] = c.bitWidthHist[i].Load()
+	}
+	s.VectorsDecoded = c.vectorsDecoded.Load()
+	s.VectorsSkipped = c.vectorsSkipped.Load()
+	s.DecodeNs = c.decNs.Load()
+	s.DecodeValues = c.decValues.Load()
+	s.RangeScans = c.rangeScans.Load()
+	s.MorselClaims = c.morselClaims.Load()
+	s.ScanWorkers = c.scanWorkers.Load()
+	return s
+}
+
+// Reset zeroes every counter. No-op on nil.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.rowGroupsALP.Store(0)
+	c.rowGroupsRD.Store(0)
+	c.vectorsEncoded.Store(0)
+	c.encExceptions.Store(0)
+	c.encNs.Store(0)
+	c.encValues.Store(0)
+	c.secondStageSkips.Store(0)
+	c.secondStageEarly.Store(0)
+	c.secondStageTried.Store(0)
+	c.rdSampledGroups.Store(0)
+	c.rdCutsTried.Store(0)
+	c.rdDictEntries.Store(0)
+	for i := range c.bitWidthHist {
+		c.bitWidthHist[i].Store(0)
+	}
+	c.vectorsDecoded.Store(0)
+	c.vectorsSkipped.Store(0)
+	c.decNs.Store(0)
+	c.decValues.Store(0)
+	c.rangeScans.Store(0)
+	c.morselClaims.Store(0)
+	c.scanWorkers.Store(0)
+}
+
+// EncodeNsPerValue returns the average encode cost in ns/value.
+func (s Snapshot) EncodeNsPerValue() float64 {
+	if s.EncodeValues == 0 {
+		return 0
+	}
+	return float64(s.EncodeNs) / float64(s.EncodeValues)
+}
+
+// DecodeNsPerValue returns the average decode cost in ns/value.
+func (s Snapshot) DecodeNsPerValue() float64 {
+	if s.DecodeValues == 0 {
+		return 0
+	}
+	return float64(s.DecodeNs) / float64(s.DecodeValues)
+}
+
+// SkipRate returns the fraction of scan vectors pruned by zone maps.
+func (s Snapshot) SkipRate() float64 {
+	total := s.VectorsDecoded + s.VectorsSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.VectorsSkipped) / float64(total)
+}
+
+// String renders the snapshot as a JSON object, making Snapshot usable
+// directly as an expvar.Var. Hand-rolled so the package stays free of
+// encoding/json (and of any import beyond sync/atomic, fmt, strings).
+func (s Snapshot) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	f := func(name string, v int64) {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", name, v)
+	}
+	f("row_groups_alp", s.RowGroupsALP)
+	f("row_groups_rd", s.RowGroupsRD)
+	f("vectors_encoded", s.VectorsEncoded)
+	f("encode_exceptions", s.EncodeExceptions)
+	f("encode_ns", s.EncodeNs)
+	f("encode_values", s.EncodeValues)
+	f("second_stage_skips", s.SecondStageSkips)
+	f("second_stage_early_exits", s.SecondStageEarlyExits)
+	f("second_stage_tried", s.SecondStageTried)
+	f("rd_sampled_row_groups", s.RDSampledRowGroups)
+	f("rd_cuts_tried", s.RDCutsTried)
+	f("rd_dict_entries", s.RDDictEntries)
+	f("vectors_decoded", s.VectorsDecoded)
+	f("vectors_skipped", s.VectorsSkipped)
+	f("decode_ns", s.DecodeNs)
+	f("decode_values", s.DecodeValues)
+	f("range_scans", s.RangeScans)
+	f("morsel_claims", s.MorselClaims)
+	f("scan_workers", s.ScanWorkers)
+	b.WriteByte(',')
+	fmt.Fprintf(&b, "%q:", "bit_width_hist")
+	b.WriteByte('[')
+	for i, v := range s.BitWidthHist {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// ---- global collector ----
+
+// active is the process-wide collector; nil means collection is off.
+var active atomic.Pointer[Collector]
+
+// Enable turns on global collection (idempotent) and returns the
+// collector.
+func Enable() *Collector {
+	for {
+		if c := active.Load(); c != nil {
+			return c
+		}
+		c := &Collector{}
+		if active.CompareAndSwap(nil, c) {
+			return c
+		}
+	}
+}
+
+// Disable turns off global collection. Instrumented paths drop back to
+// their single nil-check branch.
+func Disable() {
+	active.Store(nil)
+}
+
+// Active returns the global collector, or nil when collection is
+// disabled. Hot paths load it once per operation and call nil-safe
+// methods on the result.
+func Active() *Collector {
+	return active.Load()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestNilCollectorIsSafe exercises every hook on a nil receiver: the
+// nil-safe collector pattern is the contract instrumented hot paths
+// rely on.
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.RowGroup(true)
+	c.RowGroup(false)
+	c.VectorEncoded(1024, 3, 17)
+	c.EncodeTime(100, 1024)
+	c.SecondStageSkipped()
+	c.SecondStage(3, true)
+	c.RDSampled(16, 8)
+	c.VectorDecoded(1024, 50)
+	c.VectorsSkipped(4)
+	c.RangeScan()
+	c.MorselClaim()
+	c.ScanWorkers(8)
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil collector snapshot not zero: %+v", s)
+	}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := &Collector{}
+	c.RowGroup(false)
+	c.RowGroup(false)
+	c.RowGroup(true)
+	c.VectorEncoded(1024, 2, 17)
+	c.VectorEncoded(1000, 0, 17)
+	c.VectorEncoded(1024, 5, WidthNone) // RD vector: no histogram entry
+	c.EncodeTime(500, 3048)
+	c.SecondStageSkipped()
+	c.SecondStage(3, true)
+	c.SecondStage(5, false)
+	c.RDSampled(16, 8)
+	c.VectorDecoded(1024, 40)
+	c.VectorDecoded(512, 20)
+	c.VectorsSkipped(6)
+	c.RangeScan()
+	c.MorselClaim()
+	c.MorselClaim()
+	c.ScanWorkers(4)
+
+	s := c.Snapshot()
+	if s.RowGroupsALP != 2 || s.RowGroupsRD != 1 {
+		t.Errorf("row groups: ALP %d RD %d", s.RowGroupsALP, s.RowGroupsRD)
+	}
+	if s.VectorsEncoded != 3 || s.EncodeExceptions != 7 {
+		t.Errorf("vectors encoded %d exceptions %d", s.VectorsEncoded, s.EncodeExceptions)
+	}
+	if s.BitWidthHist[17] != 2 {
+		t.Errorf("hist[17] = %d, want 2", s.BitWidthHist[17])
+	}
+	for w, n := range s.BitWidthHist {
+		if w != 17 && n != 0 {
+			t.Errorf("hist[%d] = %d, want 0", w, n)
+		}
+	}
+	if s.EncodeNs != 500 || s.EncodeValues != 3048 {
+		t.Errorf("encode time %d/%d", s.EncodeNs, s.EncodeValues)
+	}
+	if s.SecondStageSkips != 1 || s.SecondStageEarlyExits != 1 || s.SecondStageTried != 8 {
+		t.Errorf("second stage: skips %d early %d tried %d",
+			s.SecondStageSkips, s.SecondStageEarlyExits, s.SecondStageTried)
+	}
+	if s.RDSampledRowGroups != 1 || s.RDCutsTried != 16 || s.RDDictEntries != 8 {
+		t.Errorf("rd sampling: %d groups %d cuts %d dict",
+			s.RDSampledRowGroups, s.RDCutsTried, s.RDDictEntries)
+	}
+	if s.VectorsDecoded != 2 || s.DecodeValues != 1536 || s.DecodeNs != 60 {
+		t.Errorf("decode: %d vectors %d values %d ns", s.VectorsDecoded, s.DecodeValues, s.DecodeNs)
+	}
+	if s.VectorsSkipped != 6 || s.RangeScans != 1 {
+		t.Errorf("scan: %d skipped %d scans", s.VectorsSkipped, s.RangeScans)
+	}
+	if s.MorselClaims != 2 || s.ScanWorkers != 4 {
+		t.Errorf("engine: %d claims %d workers", s.MorselClaims, s.ScanWorkers)
+	}
+
+	if got := s.EncodeNsPerValue(); got != 500.0/3048.0 {
+		t.Errorf("EncodeNsPerValue = %v", got)
+	}
+	if got := s.DecodeNsPerValue(); got != 60.0/1536.0 {
+		t.Errorf("DecodeNsPerValue = %v", got)
+	}
+	if got := s.SkipRate(); got != 6.0/8.0 {
+		t.Errorf("SkipRate = %v", got)
+	}
+
+	c.Reset()
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("Reset left counters: %+v", got)
+	}
+}
+
+// TestSnapshotStringIsJSON asserts the hand-rolled expvar rendering is
+// valid JSON with the expected keys.
+func TestSnapshotStringIsJSON(t *testing.T) {
+	c := &Collector{}
+	c.VectorEncoded(1024, 1, 3)
+	c.VectorDecoded(1024, 10)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(c.Snapshot().String()), &m); err != nil {
+		t.Fatalf("Snapshot.String() is not valid JSON: %v\n%s", err, c.Snapshot().String())
+	}
+	for _, key := range []string{"row_groups_alp", "vectors_encoded", "vectors_decoded",
+		"vectors_skipped", "morsel_claims", "bit_width_hist"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("key %q missing from snapshot JSON", key)
+		}
+	}
+	if hist, ok := m["bit_width_hist"].([]any); !ok || len(hist) != MaxBitWidth+1 {
+		t.Errorf("bit_width_hist malformed: %v", m["bit_width_hist"])
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	Disable()
+	if Active() != nil {
+		t.Fatal("Active() != nil after Disable")
+	}
+	c := Enable()
+	if c == nil || Active() != c {
+		t.Fatal("Enable did not install a collector")
+	}
+	if again := Enable(); again != c {
+		t.Fatal("Enable is not idempotent")
+	}
+	Disable()
+	if Active() != nil {
+		t.Fatal("Disable did not clear the collector")
+	}
+}
+
+// TestConcurrentCounting hammers one collector from many goroutines;
+// with -race this validates the atomic-counter contract end to end.
+func TestConcurrentCounting(t *testing.T) {
+	c := &Collector{}
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.VectorDecoded(1024, 1)
+				c.MorselClaim()
+				c.VectorEncoded(1024, 1, 12)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.VectorsDecoded != workers*per || s.MorselClaims != workers*per ||
+		s.VectorsEncoded != workers*per || s.BitWidthHist[12] != workers*per {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

@@ -1,0 +1,316 @@
+package alp
+
+import (
+	"fmt"
+
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/obs"
+)
+
+// ---- runtime metrics (process-wide counters) ----
+
+// Stats is a point-in-time snapshot of the codec-wide runtime metrics:
+// every adaptive decision ALP makes while encoding, decoding and
+// scanning. Collection is off by default; call EnableStats to start
+// counting. All fields are plain values — a Stats is safe to copy,
+// compare and serialize (its exported fields make it directly usable
+// with expvar.Func).
+type Stats struct {
+	// Encode side.
+	RowGroupsALP     int64 // row-groups encoded with the decimal scheme
+	RowGroupsRD      int64 // row-groups that fell back to ALP_rd
+	VectorsEncoded   int64 // vectors encoded (both schemes)
+	EncodeExceptions int64 // exception slots written during encode
+	EncodeNs         int64 // wall ns spent encoding row-groups
+	EncodeValues     int64 // values encoded
+
+	// Second-stage sampling (per-vector (e,f) choice).
+	SecondStageSkips      int64 // vectors that needed no sampling (1 candidate)
+	SecondStageEarlyExits int64 // greedy searches that exited early
+	SecondStageTried      int64 // candidate combinations evaluated
+	RDSampledRowGroups    int64 // row-groups that ran ALP_rd sampling
+	RDCutsTried           int64 // ALP_rd cut positions evaluated
+	RDDictEntries         int64 // ALP_rd dictionary entries chosen
+
+	// BitWidthHist[w] counts encoded decimal-scheme vectors whose FFOR
+	// payload packed at w bits per value (w in 0..64).
+	BitWidthHist [65]int64
+
+	// Decode / scan side.
+	VectorsDecoded int64 // vectors decompressed (any access path)
+	VectorsSkipped int64 // vectors pruned by zone-map push-down
+	DecodeNs       int64 // wall ns spent decompressing vectors
+	DecodeValues   int64 // values decompressed
+	RangeScans     int64 // SumRange scans executed
+	MorselClaims   int64 // partitions claimed by engine scan workers
+	ScanWorkers    int64 // scan worker goroutines launched
+}
+
+// EnableStats turns on global metrics collection. Instrumented hot
+// paths switch from a single nil-check branch to atomic counter
+// updates. Idempotent.
+func EnableStats() { obs.Enable() }
+
+// DisableStats turns off global metrics collection.
+func DisableStats() { obs.Disable() }
+
+// ResetStats zeroes all counters (no-op when collection is disabled).
+func ResetStats() { obs.Active().Reset() }
+
+// StatsEnabled reports whether metrics collection is active.
+func StatsEnabled() bool { return obs.Active() != nil }
+
+// ReadStats snapshots the current counters. With collection disabled it
+// returns a zero Stats.
+func ReadStats() Stats {
+	return statsFromSnapshot(obs.Active().Snapshot())
+}
+
+func statsFromSnapshot(s obs.Snapshot) Stats {
+	return Stats{
+		RowGroupsALP:          s.RowGroupsALP,
+		RowGroupsRD:           s.RowGroupsRD,
+		VectorsEncoded:        s.VectorsEncoded,
+		EncodeExceptions:      s.EncodeExceptions,
+		EncodeNs:              s.EncodeNs,
+		EncodeValues:          s.EncodeValues,
+		SecondStageSkips:      s.SecondStageSkips,
+		SecondStageEarlyExits: s.SecondStageEarlyExits,
+		SecondStageTried:      s.SecondStageTried,
+		RDSampledRowGroups:    s.RDSampledRowGroups,
+		RDCutsTried:           s.RDCutsTried,
+		RDDictEntries:         s.RDDictEntries,
+		BitWidthHist:          s.BitWidthHist,
+		VectorsDecoded:        s.VectorsDecoded,
+		VectorsSkipped:        s.VectorsSkipped,
+		DecodeNs:              s.DecodeNs,
+		DecodeValues:          s.DecodeValues,
+		RangeScans:            s.RangeScans,
+		MorselClaims:          s.MorselClaims,
+		ScanWorkers:           s.ScanWorkers,
+	}
+}
+
+// EncodeNsPerValue returns the average encode cost in ns per value.
+func (s Stats) EncodeNsPerValue() float64 {
+	if s.EncodeValues == 0 {
+		return 0
+	}
+	return float64(s.EncodeNs) / float64(s.EncodeValues)
+}
+
+// DecodeNsPerValue returns the average decode cost in ns per value.
+func (s Stats) DecodeNsPerValue() float64 {
+	if s.DecodeValues == 0 {
+		return 0
+	}
+	return float64(s.DecodeNs) / float64(s.DecodeValues)
+}
+
+// SkipRate returns the fraction of scan vectors pruned by zone maps.
+func (s Stats) SkipRate() float64 {
+	total := s.VectorsDecoded + s.VectorsSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.VectorsSkipped) / float64(total)
+}
+
+// String renders the snapshot as JSON, so a Stats value satisfies
+// expvar.Var and can be published with expvar.Publish without pulling
+// expvar (and its /debug/vars side effect) into this package.
+func (s Stats) String() string {
+	return statsToSnapshot(s).String()
+}
+
+func statsToSnapshot(s Stats) obs.Snapshot {
+	return obs.Snapshot{
+		RowGroupsALP:          s.RowGroupsALP,
+		RowGroupsRD:           s.RowGroupsRD,
+		VectorsEncoded:        s.VectorsEncoded,
+		EncodeExceptions:      s.EncodeExceptions,
+		EncodeNs:              s.EncodeNs,
+		EncodeValues:          s.EncodeValues,
+		SecondStageSkips:      s.SecondStageSkips,
+		SecondStageEarlyExits: s.SecondStageEarlyExits,
+		SecondStageTried:      s.SecondStageTried,
+		RDSampledRowGroups:    s.RDSampledRowGroups,
+		RDCutsTried:           s.RDCutsTried,
+		RDDictEntries:         s.RDDictEntries,
+		BitWidthHist:          s.BitWidthHist,
+		VectorsDecoded:        s.VectorsDecoded,
+		VectorsSkipped:        s.VectorsSkipped,
+		DecodeNs:              s.DecodeNs,
+		DecodeValues:          s.DecodeValues,
+		RangeScans:            s.RangeScans,
+		MorselClaims:          s.MorselClaims,
+		ScanWorkers:           s.ScanWorkers,
+	}
+}
+
+// ---- per-column static introspection ----
+
+// Scheme identifies the encoding of a row-group.
+type Scheme uint8
+
+const (
+	// SchemeALP is the decimal encoding (paper §3.1).
+	SchemeALP = Scheme(format.SchemeALP)
+	// SchemeRD is the real-double fallback encoding (paper §3.4).
+	SchemeRD = Scheme(format.SchemeRD)
+)
+
+func (s Scheme) String() string { return format.Scheme(s).String() }
+
+// ComboInfo is one sampled (exponent, factor) combination.
+type ComboInfo struct {
+	E, F uint8
+}
+
+// VectorInfo describes one compressed vector.
+type VectorInfo struct {
+	Index  int // global vector index within the column
+	Values int
+
+	// Decimal scheme: the (e, f) combination chosen by second-stage
+	// sampling and the FFOR bit width. For ALP_rd vectors E and F are
+	// zero and BitWidth is the right-part width plus the dictionary
+	// code width (the per-value payload bits).
+	E, F     uint8
+	BitWidth uint
+
+	Exceptions     int
+	CompressedBits int
+}
+
+// RowGroupInfo describes one compressed row-group: the adaptive
+// decisions first-level sampling made for it and its per-vector layout.
+type RowGroupInfo struct {
+	Index  int
+	Start  int // index of the first value
+	Values int
+	Scheme Scheme
+
+	// Decimal scheme: the k best (e,f) candidates kept by first-level
+	// sampling, and per-vector second-stage effort (candidates tried;
+	// 0 = sampling skipped). SecondStageTried is only populated for
+	// freshly encoded columns — it is sampling telemetry, not part of
+	// the serialized format.
+	Combos           []ComboInfo
+	SecondStageTried []int
+
+	// ALP_rd scheme: cut position, dictionary code width and size.
+	CutPosition uint8
+	CodeWidth   uint
+	DictSize    int
+
+	Vectors        []VectorInfo
+	Exceptions     int
+	CompressedBits int
+}
+
+// ColumnInfo is a deep-introspection report of one compressed column:
+// every per-row-group and per-vector decision the adaptive encoder
+// made, reconstructed from the compressed representation itself. It is
+// what `alpfile inspect` prints.
+type ColumnInfo struct {
+	Values         int
+	NumVectors     int
+	NumRowGroups   int
+	RowGroups      []RowGroupInfo
+	Exceptions     int
+	CompressedBits int
+	BitsPerValue   float64
+	UsedRD         bool
+	HasZoneMap     bool
+}
+
+// ColumnStats parses a compressed stream and returns its introspection
+// report without decompressing any values.
+func ColumnStats(data []byte) (*ColumnInfo, error) {
+	col, err := format.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return buildColumnInfo(col), nil
+}
+
+// Info returns the introspection report for the column.
+func (c *Column) Info() *ColumnInfo { return buildColumnInfo(c.col) }
+
+func buildColumnInfo(col *format.Column) *ColumnInfo {
+	info := &ColumnInfo{
+		Values:         col.N,
+		NumVectors:     col.NumVectors(),
+		NumRowGroups:   len(col.RowGroups),
+		CompressedBits: col.SizeBits(),
+		BitsPerValue:   col.BitsPerValue(),
+		UsedRD:         col.UsedRD(),
+		HasZoneMap:     col.Zones != nil,
+	}
+	vecIndex := 0
+	for g := range col.RowGroups {
+		rg := &col.RowGroups[g]
+		ri := RowGroupInfo{
+			Index:          g,
+			Start:          rg.Start,
+			Values:         rg.N,
+			Scheme:         Scheme(rg.Scheme),
+			CompressedBits: rg.SizeBits(),
+		}
+		if rg.Scheme == format.SchemeRD {
+			ri.CutPosition = rg.RD.P
+			ri.CodeWidth = rg.RD.CodeWidth
+			ri.DictSize = len(rg.RD.Dict)
+			for j := range rg.RDVectors {
+				v := &rg.RDVectors[j]
+				ri.Vectors = append(ri.Vectors, VectorInfo{
+					Index:          vecIndex,
+					Values:         v.N,
+					BitWidth:       uint(rg.RD.P) + rg.RD.CodeWidth,
+					Exceptions:     v.Exceptions(),
+					CompressedBits: rg.RD.SizeBits(v),
+				})
+				ri.Exceptions += v.Exceptions()
+				vecIndex++
+			}
+		} else {
+			for _, cb := range rg.Combos {
+				ri.Combos = append(ri.Combos, ComboInfo{E: cb.E, F: cb.F})
+			}
+			ri.SecondStageTried = append([]int(nil), rg.SecondStageTried...)
+			for j := range rg.Vectors {
+				v := &rg.Vectors[j]
+				ri.Vectors = append(ri.Vectors, VectorInfo{
+					Index:          vecIndex,
+					Values:         v.N,
+					E:              v.E,
+					F:              v.F,
+					BitWidth:       v.Ints.Width,
+					Exceptions:     v.Exceptions(),
+					CompressedBits: v.SizeBits(),
+				})
+				ri.Exceptions += v.Exceptions()
+				vecIndex++
+			}
+		}
+		info.Exceptions += ri.Exceptions
+		info.RowGroups = append(info.RowGroups, ri)
+	}
+	return info
+}
+
+// Summary returns a one-line description of the column, suitable for
+// logs: value count, bits/value, scheme mix and exception total.
+func (ci *ColumnInfo) Summary() string {
+	alpGroups, rdGroups := 0, 0
+	for i := range ci.RowGroups {
+		if ci.RowGroups[i].Scheme == SchemeRD {
+			rdGroups++
+		} else {
+			alpGroups++
+		}
+	}
+	return fmt.Sprintf("%d values, %.2f bits/value, %d row-groups (%d ALP, %d ALP_rd), %d exceptions",
+		ci.Values, ci.BitsPerValue, ci.NumRowGroups, alpGroups, rdGroups, ci.Exceptions)
+}
