@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke check clean
+.PHONY: all build vet test race bench-smoke fuzz-smoke check clean
 
 all: check
 
@@ -25,8 +25,15 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Short coverage-guided fuzzing runs on top of the checked-in seed
+# corpora (testdata/fuzz/): round-trip losslessness on arbitrary bit
+# patterns, and no-panic + ErrCorrupt on mutated streams.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 20s .
+
 # The full PR gate, mirrored by .github/workflows/ci.yml.
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/pipeline"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -49,17 +50,42 @@ const RowGroupSize = vector.RowGroupSize
 var ErrCorrupt = format.ErrCorrupt
 
 // Encode compresses values and returns a self-describing byte stream.
+// Columns spanning more than one row-group are encoded by a worker
+// pool, one worker per CPU; the output is byte-identical to a
+// single-worker encode (see EncodeParallel).
 func Encode(values []float64) []byte {
-	return format.EncodeColumn(values).Marshal()
+	return EncodeParallel(values, 0)
 }
 
-// Decode decompresses a stream produced by Encode (or Writer).
+// EncodeParallel is Encode with an explicit worker count: row-groups
+// are sampled and encoded concurrently by a bounded, morsel-style
+// worker pool and reassembled in row-group order, so the output is
+// byte-identical at every worker count. workers <= 0 means one worker
+// per CPU; 1 forces the serial path. The fan-out is clamped to the
+// number of row-groups (one per 102400 values), so small inputs encode
+// inline with no goroutine overhead.
+func EncodeParallel(values []float64, workers int) []byte {
+	return format.EncodeColumnParallel(values, workers).Marshal()
+}
+
+// Decode decompresses a stream produced by Encode (or Writer). Columns
+// spanning more than one row-group are decoded by a worker pool, one
+// worker per CPU; the result is bit-identical to a single-worker
+// decode (see DecodeParallel).
 func Decode(data []byte) ([]float64, error) {
+	return DecodeParallel(data, 0)
+}
+
+// DecodeParallel is Decode with an explicit worker count: workers claim
+// row-groups morsel-style and decompress each vector directly into its
+// slot of the preallocated result slice. workers <= 0 means one worker
+// per CPU; 1 forces the serial path.
+func DecodeParallel(data []byte, workers int) ([]float64, error) {
 	col, err := format.Unmarshal(data)
 	if err != nil {
 		return nil, err
 	}
-	return col.Decode(), nil
+	return col.DecodeParallel(workers), nil
 }
 
 // Column provides random access into a compressed column.
@@ -74,9 +100,17 @@ type Column struct {
 	scratch []int64
 }
 
-// Compress encodes values into an in-memory Column.
+// Compress encodes values into an in-memory Column, using one encode
+// worker per CPU (see CompressParallel).
 func Compress(values []float64) *Column {
-	return &Column{col: format.EncodeColumn(values), scratch: make([]int64, vector.Size)}
+	return CompressParallel(values, 0)
+}
+
+// CompressParallel is Compress with an explicit worker count; the
+// resulting Column is identical at every worker count. workers <= 0
+// means one worker per CPU; 1 forces the serial path.
+func CompressParallel(values []float64, workers int) *Column {
+	return &Column{col: format.EncodeColumnParallel(values, workers), scratch: make([]int64, vector.Size)}
 }
 
 // Open parses a compressed stream for random access.
@@ -129,8 +163,34 @@ func (c *Column) ReadVectorInto(i int, dst []float64, scratch []int64) (int, err
 	return c.col.DecodeVector(i, dst, scratch), nil
 }
 
-// Values decompresses the whole column.
-func (c *Column) Values() []float64 { return c.col.Decode() }
+// Values decompresses the whole column, using one decode worker per
+// CPU for columns spanning more than one row-group (see
+// ValuesParallel).
+func (c *Column) Values() []float64 { return c.ValuesParallel(0) }
+
+// ValuesParallel decompresses the whole column with an explicit worker
+// count: workers claim row-groups morsel-style and decode every vector
+// through ReadVectorInto — each with its own scratch buffer — straight
+// into the preallocated result slice, so the result is bit-identical
+// to the serial decode. workers <= 0 means one worker per CPU; 1
+// forces the serial path.
+func (c *Column) ValuesParallel(workers int) []float64 {
+	out := make([]float64, c.col.N)
+	scratches := make([][]int64, pipeline.Workers(workers))
+	pipeline.Run(len(c.col.RowGroups), workers, func(worker, g int) {
+		if scratches[worker] == nil {
+			scratches[worker] = make([]int64, vector.Size)
+		}
+		first := g * vector.RowGroupVectors
+		for j := 0; j < vector.VectorsIn(c.col.RowGroups[g].N); j++ {
+			lo, hi := vector.Bounds(first+j, c.col.N)
+			// The compressed column is immutable, so concurrent
+			// ReadVectorInto calls with per-worker dst/scratch are safe.
+			c.ReadVectorInto(first+j, out[lo:hi], scratches[worker])
+		}
+	})
+	return out
+}
 
 // Sum aggregates the column without materializing it.
 func (c *Column) Sum() float64 { return c.col.Sum() }

@@ -7,18 +7,35 @@ import "github.com/goalp/alp/internal/format"
 // such as ML model weights.
 
 // Encode32 compresses float32 values and returns a self-describing byte
-// stream.
+// stream, using one encode worker per CPU for columns spanning more
+// than one row-group (see Encode32Parallel).
 func Encode32(values []float32) []byte {
-	return format.EncodeColumn32(values).Marshal()
+	return Encode32Parallel(values, 0)
 }
 
-// Decode32 decompresses a stream produced by Encode32.
+// Encode32Parallel is Encode32 with an explicit worker count: the same
+// bounded row-group pipeline as EncodeParallel, with byte-identical
+// output at every worker count. workers <= 0 means one worker per CPU;
+// 1 forces the serial path.
+func Encode32Parallel(values []float32, workers int) []byte {
+	return format.EncodeColumn32Parallel(values, workers).Marshal()
+}
+
+// Decode32 decompresses a stream produced by Encode32, using one decode
+// worker per CPU (see Decode32Parallel).
 func Decode32(data []byte) ([]float32, error) {
+	return Decode32Parallel(data, 0)
+}
+
+// Decode32Parallel is Decode32 with an explicit worker count; the
+// result is bit-identical at every worker count. workers <= 0 means
+// one worker per CPU; 1 forces the serial path.
+func Decode32Parallel(data []byte, workers int) ([]float32, error) {
 	col, err := format.Unmarshal32(data)
 	if err != nil {
 		return nil, err
 	}
-	return col.Decode(), nil
+	return col.DecodeParallel(workers), nil
 }
 
 // Column32 provides random access into a compressed float32 column.
@@ -47,8 +64,13 @@ func (c *Column32) Bytes() []byte { return c.col.Marshal() }
 // Len returns the number of values in the column.
 func (c *Column32) Len() int { return c.col.N }
 
-// Values decompresses the whole column.
-func (c *Column32) Values() []float32 { return c.col.Decode() }
+// Values decompresses the whole column, using one decode worker per
+// CPU for columns spanning more than one row-group.
+func (c *Column32) Values() []float32 { return c.col.DecodeParallel(0) }
+
+// ValuesParallel decompresses the whole column with an explicit worker
+// count; the result is bit-identical at every worker count.
+func (c *Column32) ValuesParallel(workers int) []float32 { return c.col.DecodeParallel(workers) }
 
 // BitsPerValue reports the compression ratio in bits per value
 // (uncompressed float32 data is 32 bits per value).

@@ -1,6 +1,7 @@
 package alp
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -177,6 +178,26 @@ func TestWriterPanicsAfterClose(t *testing.T) {
 		}
 	}()
 	w.Write([]float64{2})
+}
+
+// TestWriterDoubleClose: Close is idempotent — every call after the
+// first must return the exact bytes the first produced (cached, not
+// re-encoded), for both the serial and the pooled Writer.
+func TestWriterDoubleClose(t *testing.T) {
+	d, _ := dataset.ByName("Dew-Point-Temp")
+	src := d.Generate(RowGroupSize + 999)
+	for _, workers := range []int{1, 4} {
+		w := NewWriterParallel(WriterOptions{Workers: workers})
+		w.Write(src)
+		first := w.Close()
+		second := w.Close()
+		if !bytes.Equal(first, second) {
+			t.Fatalf("workers=%d: second Close returned different bytes", workers)
+		}
+		if got, err := Decode(second); err != nil || !bitsEqual(got, src) {
+			t.Fatalf("workers=%d: double-Closed stream does not round-trip (%v)", workers, err)
+		}
+	}
 }
 
 func TestQuickPublicRoundTrip(t *testing.T) {

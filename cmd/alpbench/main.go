@@ -35,12 +35,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig1, table2, fig3, table4, table5, fig4, fig5, sampling, table6, fig6, table7, alprd, filter")
+		exp     = flag.String("exp", "all", "experiment: all, fig1, table2, fig3, table4, table5, fig4, fig5, sampling, table6, fig6, table7, alprd, filter, parallel")
 		n       = flag.Int("n", dataset.DefaultN, "values per dataset")
 		ghz     = flag.Float64("ghz", bench.DefaultGHz, "CPU clock in GHz for tuples-per-cycle conversion")
 		minDur  = flag.Duration("mindur", 20*time.Millisecond, "minimum measurement window per timing point")
 		scale   = flag.Int("scale", 2_000_000, "values for the end-to-end experiments (paper: 1e9)")
 		threads = flag.String("threads", "1,8,16", "thread counts for the end-to-end experiments")
+		encWork = flag.String("encworkers", "1,2,4,8", "worker counts for the parallel pipeline experiment")
 		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) and enable stats collection")
 		stats   = flag.Bool("stats", false, "enable stats collection and print the final snapshot to stderr")
 	)
@@ -74,6 +75,16 @@ func main() {
 	if len(threadList) == 0 {
 		threadList = []int{1, 8, 16}
 	}
+	var workerList []int
+	for _, part := range strings.Split(*encWork, ",") {
+		var t int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err == nil && t > 0 {
+			workerList = append(workerList, t)
+		}
+	}
+	if len(workerList) == 0 {
+		workerList = []int{1, 2, 4, 8}
+	}
 
 	w := os.Stdout
 	run := func(name string, fn func()) {
@@ -85,7 +96,8 @@ func main() {
 
 	known := map[string]bool{"all": true, "fig1": true, "table2": true, "fig3": true,
 		"table4": true, "table5": true, "fig4": true, "fig5": true, "sampling": true,
-		"table6": true, "fig6": true, "table7": true, "alprd": true, "filter": true}
+		"table6": true, "fig6": true, "table7": true, "alprd": true, "filter": true,
+		"parallel": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "alpbench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -105,6 +117,7 @@ func main() {
 	run("table7", func() { bench.RunTable7(w, opt) })
 	run("alprd", func() { bench.RunALPRD(w, opt) })
 	run("filter", func() { bench.RunFilter(w, opt, *scale) })
+	run("parallel", func() { bench.RunParallel(w, opt, *scale, workerList) })
 
 	if *stats {
 		s := alp.ReadStats()

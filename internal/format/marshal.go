@@ -287,6 +287,9 @@ func unmarshalRowGroup(r *reader) (RowGroup, error) {
 			if err != nil {
 				return rg, err
 			}
+			if lo, hi := vector.Bounds(j, rg.N); v.N != hi-lo {
+				return rg, corrupt("RD vector %d holds %d values, position implies %d", j, v.N, hi-lo)
+			}
 			rg.RDVectors = append(rg.RDVectors, v)
 		}
 		return rg, r.err
@@ -308,6 +311,12 @@ func unmarshalRowGroup(r *reader) (RowGroup, error) {
 		v, err := unmarshalALPVector(r)
 		if err != nil {
 			return rg, err
+		}
+		// A vector that claims a different value count than its position
+		// implies would desynchronize decoding (and overrun destination
+		// buffers sized from the position).
+		if lo, hi := vector.Bounds(j, rg.N); v.N != hi-lo {
+			return rg, corrupt("vector %d holds %d values, position implies %d", j, v.N, hi-lo)
 		}
 		rg.Vectors = append(rg.Vectors, v)
 	}

@@ -59,6 +59,11 @@ type Collector struct {
 	rangeScans     atomic.Int64 // SumRange scans executed
 	morselClaims   atomic.Int64 // partitions claimed by scan workers
 	scanWorkers    atomic.Int64 // worker goroutines launched by the engine
+
+	// Encode/decode pipeline (internal/pipeline worker pool).
+	pipelineWorkers atomic.Int64 // workers spawned by the codec pipeline
+	pipelineClaims  atomic.Int64 // row-groups claimed by pipeline workers
+	pipelineStalls  atomic.Int64 // submissions that blocked on a full window
 }
 
 // ---- encode-side hooks ----
@@ -182,6 +187,35 @@ func (c *Collector) ScanWorkers(n int) {
 	c.scanWorkers.Add(int64(n))
 }
 
+// ---- pipeline hooks ----
+
+// PipelineWorkers records n worker goroutines spawned by the
+// encode/decode pipeline.
+func (c *Collector) PipelineWorkers(n int) {
+	if c == nil {
+		return
+	}
+	c.pipelineWorkers.Add(int64(n))
+}
+
+// PipelineClaim records one row-group claimed by a pipeline worker.
+func (c *Collector) PipelineClaim() {
+	if c == nil {
+		return
+	}
+	c.pipelineClaims.Add(1)
+}
+
+// PipelineStall records one submission that found the bounded in-flight
+// window full and had to block — back-pressure from encode workers
+// slower than the producer.
+func (c *Collector) PipelineStall() {
+	if c == nil {
+		return
+	}
+	c.pipelineStalls.Add(1)
+}
+
 // ---- snapshot ----
 
 // Snapshot is a point-in-time copy of every counter, safe to read,
@@ -210,6 +244,10 @@ type Snapshot struct {
 	RangeScans     int64
 	MorselClaims   int64
 	ScanWorkers    int64
+
+	PipelineWorkers int64
+	PipelineClaims  int64
+	PipelineStalls  int64
 }
 
 // Snapshot copies the counters. A nil Collector yields a zero Snapshot.
@@ -240,6 +278,9 @@ func (c *Collector) Snapshot() Snapshot {
 	s.RangeScans = c.rangeScans.Load()
 	s.MorselClaims = c.morselClaims.Load()
 	s.ScanWorkers = c.scanWorkers.Load()
+	s.PipelineWorkers = c.pipelineWorkers.Load()
+	s.PipelineClaims = c.pipelineClaims.Load()
+	s.PipelineStalls = c.pipelineStalls.Load()
 	return s
 }
 
@@ -270,6 +311,9 @@ func (c *Collector) Reset() {
 	c.rangeScans.Store(0)
 	c.morselClaims.Store(0)
 	c.scanWorkers.Store(0)
+	c.pipelineWorkers.Store(0)
+	c.pipelineClaims.Store(0)
+	c.pipelineStalls.Store(0)
 }
 
 // EncodeNsPerValue returns the average encode cost in ns/value.
@@ -328,6 +372,9 @@ func (s Snapshot) String() string {
 	f("range_scans", s.RangeScans)
 	f("morsel_claims", s.MorselClaims)
 	f("scan_workers", s.ScanWorkers)
+	f("pipeline_workers", s.PipelineWorkers)
+	f("pipeline_claims", s.PipelineClaims)
+	f("pipeline_stalls", s.PipelineStalls)
 	b.WriteByte(',')
 	fmt.Fprintf(&b, "%q:", "bit_width_hist")
 	b.WriteByte('[')

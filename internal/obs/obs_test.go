@@ -23,6 +23,9 @@ func TestNilCollectorIsSafe(t *testing.T) {
 	c.RangeScan()
 	c.MorselClaim()
 	c.ScanWorkers(8)
+	c.PipelineWorkers(4)
+	c.PipelineClaim()
+	c.PipelineStall()
 	c.Reset()
 	if s := c.Snapshot(); s != (Snapshot{}) {
 		t.Fatalf("nil collector snapshot not zero: %+v", s)
@@ -49,6 +52,11 @@ func TestCollectorCounts(t *testing.T) {
 	c.MorselClaim()
 	c.MorselClaim()
 	c.ScanWorkers(4)
+	c.PipelineWorkers(2)
+	c.PipelineClaim()
+	c.PipelineClaim()
+	c.PipelineClaim()
+	c.PipelineStall()
 
 	s := c.Snapshot()
 	if s.RowGroupsALP != 2 || s.RowGroupsRD != 1 {
@@ -85,6 +93,10 @@ func TestCollectorCounts(t *testing.T) {
 	if s.MorselClaims != 2 || s.ScanWorkers != 4 {
 		t.Errorf("engine: %d claims %d workers", s.MorselClaims, s.ScanWorkers)
 	}
+	if s.PipelineWorkers != 2 || s.PipelineClaims != 3 || s.PipelineStalls != 1 {
+		t.Errorf("pipeline: %d workers %d claims %d stalls",
+			s.PipelineWorkers, s.PipelineClaims, s.PipelineStalls)
+	}
 
 	if got := s.EncodeNsPerValue(); got != 500.0/3048.0 {
 		t.Errorf("EncodeNsPerValue = %v", got)
@@ -113,7 +125,8 @@ func TestSnapshotStringIsJSON(t *testing.T) {
 		t.Fatalf("Snapshot.String() is not valid JSON: %v\n%s", err, c.Snapshot().String())
 	}
 	for _, key := range []string{"row_groups_alp", "vectors_encoded", "vectors_decoded",
-		"vectors_skipped", "morsel_claims", "bit_width_hist"} {
+		"vectors_skipped", "morsel_claims", "bit_width_hist",
+		"pipeline_workers", "pipeline_claims", "pipeline_stalls"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("key %q missing from snapshot JSON", key)
 		}

@@ -1,0 +1,274 @@
+package alp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/goalp/alp/internal/dataset"
+)
+
+// workerCounts are the fan-outs every determinism guard checks,
+// including counts above the row-group count (clamped) and above this
+// machine's CPU count.
+var workerCounts = []int{2, 3, 4, 8}
+
+// testColumn synthesizes n values with a mix the encoder has to work
+// for: decimals of varying precision with occasional specials, so
+// columns span ALP vectors with exceptions.
+func testColumn(r *rand.Rand, n int) []float64 {
+	values := make([]float64, n)
+	for i := range values {
+		switch r.Intn(50) {
+		case 0:
+			values[i] = math.NaN()
+		case 1:
+			values[i] = math.Inf(1 - 2*r.Intn(2))
+		case 2:
+			values[i] = math.Copysign(0, -1)
+		case 3:
+			values[i] = math.Float64frombits(r.Uint64()) // arbitrary bits
+		default:
+			values[i] = float64(r.Intn(2_000_000)-1_000_000) / 100
+		}
+	}
+	return values
+}
+
+// bitsEqual reports bit-exact equality, the codec's correctness bar.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeParallelByteIdentical is the pipeline's core guard: the
+// parallel encode must produce exactly the bytes of the serial encode,
+// at every worker count, including partial trailing row-groups and
+// vectors.
+func TestEncodeParallelByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 1024, RowGroupSize - 1, RowGroupSize, RowGroupSize + 1, 2*RowGroupSize + 513} {
+		values := testColumn(r, n)
+		serial := EncodeParallel(values, 1)
+		for _, w := range workerCounts {
+			if got := EncodeParallel(values, w); !bytes.Equal(got, serial) {
+				t.Fatalf("n=%d workers=%d: parallel encode differs from serial (%d vs %d bytes)",
+					n, w, len(got), len(serial))
+			}
+		}
+		if got := Encode(values); !bytes.Equal(got, serial) {
+			t.Fatalf("n=%d: Encode (auto workers) differs from serial", n)
+		}
+	}
+}
+
+// TestDecodeParallelBitIdentical guards the read side: DecodeParallel
+// and ValuesParallel must reproduce the input bit-exactly at every
+// worker count.
+func TestDecodeParallelBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1023, RowGroupSize + 4096} {
+		values := testColumn(r, n)
+		data := Encode(values)
+		for _, w := range append([]int{1}, workerCounts...) {
+			got, err := DecodeParallel(data, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			if !bitsEqual(got, values) {
+				t.Fatalf("n=%d workers=%d: DecodeParallel not bit-exact", n, w)
+			}
+		}
+		col, err := Open(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range append([]int{1}, workerCounts...) {
+			if !bitsEqual(col.ValuesParallel(w), values) {
+				t.Fatalf("n=%d workers=%d: ValuesParallel not bit-exact", n, w)
+			}
+		}
+	}
+}
+
+// TestEncodeParallel32ByteIdentical covers the float32 path of the
+// pipeline: byte-identical encode, bit-exact parallel decode.
+func TestEncodeParallel32ByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 1025, RowGroupSize + 2000} {
+		values := make([]float32, n)
+		for i := range values {
+			switch r.Intn(40) {
+			case 0:
+				values[i] = float32(math.NaN())
+			case 1:
+				values[i] = math.Float32frombits(r.Uint32())
+			default:
+				values[i] = float32(r.Intn(200_000)-100_000) / 100
+			}
+		}
+		serial := Encode32Parallel(values, 1)
+		for _, w := range workerCounts {
+			if got := Encode32Parallel(values, w); !bytes.Equal(got, serial) {
+				t.Fatalf("n=%d workers=%d: parallel encode32 differs from serial", n, w)
+			}
+			got, err := Decode32Parallel(serial, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(values[i]) {
+					t.Fatalf("n=%d workers=%d: value %d not bit-exact", n, w, i)
+				}
+			}
+		}
+		if got := Encode32(values); !bytes.Equal(got, serial) {
+			t.Fatalf("n=%d: Encode32 (auto workers) differs from serial", n)
+		}
+	}
+}
+
+// TestWriterParallelByteIdentical: the parallel streaming Writer must
+// serialize exactly the bytes of the serial Writer and of one-shot
+// Encode, across chunked writes that straddle row-group boundaries.
+func TestWriterParallelByteIdentical(t *testing.T) {
+	d, _ := dataset.ByName("City-Temp")
+	src := d.Generate(2*RowGroupSize + 30_000) // 3 row-groups, last partial
+	serial := Encode(src)
+
+	for _, w := range workerCounts {
+		pw := NewWriterParallel(WriterOptions{Workers: w})
+		for off := 0; off < len(src); off += 9973 {
+			hi := off + 9973
+			if hi > len(src) {
+				hi = len(src)
+			}
+			pw.Write(src[off:hi])
+		}
+		if pw.Len() != len(src) {
+			t.Fatalf("workers=%d: Len = %d, want %d", w, pw.Len(), len(src))
+		}
+		if got := pw.Close(); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d: parallel writer output differs from Encode", w)
+		}
+	}
+
+	// Workers <= 1 resolves to the plain serial writer.
+	sw := NewWriterParallel(WriterOptions{Workers: 1})
+	sw.Write(src)
+	if got := sw.Close(); !bytes.Equal(got, serial) {
+		t.Fatal("workers=1 writer output differs from Encode")
+	}
+}
+
+// propertyLengths are the vector- and row-group-boundary lengths every
+// property-test case draws from: empty, single value, one value around
+// the vector boundary, and one around the row-group boundary.
+var propertyLengths = []int{0, 1, 1023, 1024, 1025, RowGroupSize - 1, RowGroupSize, RowGroupSize + 1}
+
+// TestPropertyRoundTrip runs randomized round-trip cases from a fixed
+// seed: every case must round-trip bit-exactly (math.Float64bits
+// equality) through both the serial and the parallel encoder, and both
+// encoders must agree byte-for-byte. Lengths cycle through every
+// vector-boundary size; row-group-sized cases are sampled at a lower
+// rate to keep the suite fast while still crossing the boundary many
+// times.
+func TestPropertyRoundTrip(t *testing.T) {
+	cases := 1000
+	if testing.Short() {
+		cases = 150
+	}
+	r := rand.New(rand.NewSource(42))
+	big := 0
+	for i := 0; i < cases; i++ {
+		var n int
+		if r.Intn(100) < 5 {
+			n = propertyLengths[5+r.Intn(3)] // RowGroupSize-1 .. +1
+			big++
+		} else {
+			n = propertyLengths[r.Intn(5)] // 0 .. 1025
+		}
+		values := testColumn(r, n)
+		workers := 2 + r.Intn(7)
+
+		serial := EncodeParallel(values, 1)
+		parallel := EncodeParallel(values, workers)
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("case %d (n=%d, workers=%d): serial and parallel bytes differ", i, n, workers)
+		}
+		got, err := DecodeParallel(serial, 1)
+		if err != nil {
+			t.Fatalf("case %d: serial decode: %v", i, err)
+		}
+		if !bitsEqual(got, values) {
+			t.Fatalf("case %d (n=%d): serial round-trip not bit-exact", i, n)
+		}
+		got, err = DecodeParallel(parallel, workers)
+		if err != nil {
+			t.Fatalf("case %d: parallel decode: %v", i, err)
+		}
+		if !bitsEqual(got, values) {
+			t.Fatalf("case %d (n=%d, workers=%d): parallel round-trip not bit-exact", i, n, workers)
+		}
+	}
+	if !testing.Short() && big == 0 {
+		t.Fatal("no row-group-boundary case sampled; widen the rate")
+	}
+}
+
+// benchParallelValues spans 4 row-groups so multi-worker runs have
+// parallelism to claim.
+func benchParallelValues() []float64 {
+	d, _ := dataset.ByName("City-Temp")
+	return d.Generate(4 * RowGroupSize)
+}
+
+func BenchmarkEncodeParallel(b *testing.B) {
+	values := benchParallelValues()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(values) * 8))
+			for i := 0; i < b.N; i++ {
+				benchSink = EncodeParallel(values, w)
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeParallel(b *testing.B) {
+	values := benchParallelValues()
+	data := Encode(values)
+	var sink []float64
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(values) * 8))
+			for i := 0; i < b.N; i++ {
+				sink, _ = DecodeParallel(data, w)
+			}
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkWriterParallel(b *testing.B) {
+	values := benchParallelValues()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(values) * 8))
+			for i := 0; i < b.N; i++ {
+				pw := NewWriterParallel(WriterOptions{Workers: w})
+				pw.Write(values)
+				benchSink = pw.Close()
+			}
+		})
+	}
+}

@@ -44,6 +44,12 @@ type Stats struct {
 	RangeScans     int64 // SumRange scans executed
 	MorselClaims   int64 // partitions claimed by engine scan workers
 	ScanWorkers    int64 // scan worker goroutines launched
+
+	// Encode/decode pipeline (the worker pool behind EncodeParallel,
+	// DecodeParallel and NewWriterParallel).
+	PipelineWorkers int64 // pipeline worker goroutines spawned
+	PipelineClaims  int64 // row-groups claimed by pipeline workers
+	PipelineStalls  int64 // submissions that blocked on a full window
 }
 
 // EnableStats turns on global metrics collection. Instrumented hot
@@ -88,6 +94,9 @@ func statsFromSnapshot(s obs.Snapshot) Stats {
 		RangeScans:            s.RangeScans,
 		MorselClaims:          s.MorselClaims,
 		ScanWorkers:           s.ScanWorkers,
+		PipelineWorkers:       s.PipelineWorkers,
+		PipelineClaims:        s.PipelineClaims,
+		PipelineStalls:        s.PipelineStalls,
 	}
 }
 
@@ -145,6 +154,9 @@ func statsToSnapshot(s Stats) obs.Snapshot {
 		RangeScans:            s.RangeScans,
 		MorselClaims:          s.MorselClaims,
 		ScanWorkers:           s.ScanWorkers,
+		PipelineWorkers:       s.PipelineWorkers,
+		PipelineClaims:        s.PipelineClaims,
+		PipelineStalls:        s.PipelineStalls,
 	}
 }
 

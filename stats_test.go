@@ -143,6 +143,41 @@ func TestStatsRDFallbackCounts(t *testing.T) {
 	})
 }
 
+// TestStatsPipelineCounts asserts the worker-pool hooks thread through
+// to the public Stats: a parallel encode over g row-groups reports g
+// claims and the spawned worker count, and the parallel decode adds the
+// same again.
+func TestStatsPipelineCounts(t *testing.T) {
+	withStats(t, func() {
+		values := decimalColumn(2*RowGroupSize/VectorSize + 1) // 3 row-groups
+		data := EncodeParallel(values, 2)
+		s := ReadStats()
+		if s.PipelineWorkers != 2 {
+			t.Fatalf("PipelineWorkers = %d, want 2", s.PipelineWorkers)
+		}
+		if s.PipelineClaims != 3 {
+			t.Fatalf("PipelineClaims = %d, want 3 (one per row-group)", s.PipelineClaims)
+		}
+
+		ResetStats()
+		if _, err := DecodeParallel(data, 2); err != nil {
+			t.Fatal(err)
+		}
+		s = ReadStats()
+		if s.PipelineWorkers != 2 || s.PipelineClaims != 3 {
+			t.Fatalf("decode pipeline workers/claims = %d/%d, want 2/3",
+				s.PipelineWorkers, s.PipelineClaims)
+		}
+
+		// The serial path spawns no pool at all.
+		ResetStats()
+		EncodeParallel(values, 1)
+		if s := ReadStats(); s.PipelineWorkers != 0 || s.PipelineClaims != 0 {
+			t.Fatalf("serial encode touched pipeline counters: %+v", s)
+		}
+	})
+}
+
 func TestStatsSumRangeSkipCounts(t *testing.T) {
 	withStats(t, func() {
 		values := decimalColumn(5)

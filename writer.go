@@ -2,29 +2,83 @@ package alp
 
 import (
 	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/pipeline"
 	"github.com/goalp/alp/internal/vector"
 )
 
 // Writer compresses a stream of float64 values incrementally: values
 // are buffered until a full row-group (RowGroupSize values) is
 // available, then sampled and encoded; Close encodes the remainder and
-// serializes the column. Memory use is bounded by one raw row-group
-// plus the compressed output.
+// serializes the column.
+//
+// With NewWriter the encode is serial and memory use is bounded by one
+// raw row-group plus the compressed output. With NewWriterParallel,
+// full row-groups are handed to a bounded worker pool: Write blocks
+// while workers+1 raw row-groups are in flight, so memory stays
+// bounded no matter how fast the producer writes, and Close reassembles
+// the results in row-group order — the serialized stream is
+// byte-identical to the serial Writer's and to Encode's.
 type Writer struct {
 	pending []float64
 	groups  []format.RowGroup
 	zones   format.ZoneMap
 	n       int
 	closed  bool
+	out     []byte // serialized column, cached by the first Close
+
+	pool *pipeline.Pool[groupJob, groupResult]
 }
 
-// NewWriter returns a Writer ready for use. The zero value is also
-// usable.
+// groupJob is one raw row-group handed to the encode pool. The values
+// slice is owned by the job: it is copied out of the Writer's pending
+// buffer at submission, so at most workers+1 raw row-group copies
+// exist at any time.
+type groupJob struct {
+	values []float64
+	start  int
+}
+
+// groupResult carries a compressed row-group and its per-vector zone
+// map back to Close. Row-groups are vector-aligned, so concatenating
+// per-group zone maps in order reproduces the whole-column zone map.
+type groupResult struct {
+	rg format.RowGroup
+	zm *format.ZoneMap
+}
+
+// NewWriter returns a serial Writer ready for use. The zero value is
+// also usable.
 func NewWriter() *Writer { return &Writer{} }
 
+// WriterOptions configures a Writer.
+type WriterOptions struct {
+	// Workers is the number of row-group encode workers: 0 or negative
+	// means one per CPU, 1 selects the serial path (same as NewWriter).
+	Workers int
+}
+
+// NewWriterParallel returns a Writer whose row-groups are encoded by a
+// bounded worker pool. The serialized output is byte-identical to the
+// serial Writer's; only throughput and (bounded) memory use differ.
+func NewWriterParallel(opt WriterOptions) *Writer {
+	workers := pipeline.Workers(opt.Workers)
+	if workers <= 1 {
+		return NewWriter()
+	}
+	w := &Writer{}
+	w.pool = pipeline.NewPool(workers, func(_ int, j groupJob) groupResult {
+		return groupResult{
+			rg: format.EncodeRowGroup(j.values, j.start),
+			zm: format.BuildZoneMap(j.values),
+		}
+	})
+	return w
+}
+
 // Write buffers values for compression. It may be called any number of
-// times with any slice sizes; full row-groups are compressed eagerly.
-// Write panics if called after Close.
+// times with any slice sizes; full row-groups are compressed eagerly
+// (or submitted to the encode pool, blocking while the bounded
+// in-flight window is full). Write panics if called after Close.
 func (w *Writer) Write(values []float64) {
 	if w.closed {
 		panic("alp: Write after Close")
@@ -37,29 +91,50 @@ func (w *Writer) Write(values []float64) {
 }
 
 func (w *Writer) flush(group []float64) {
+	if w.pool != nil {
+		w.pool.Submit(groupJob{values: append([]float64(nil), group...), start: w.n})
+		w.n += len(group)
+		return
+	}
 	w.groups = append(w.groups, format.EncodeRowGroup(group, w.n))
 	zm := format.BuildZoneMap(group)
+	w.appendZones(zm)
+	w.n += len(group)
+}
+
+func (w *Writer) appendZones(zm *format.ZoneMap) {
 	w.zones.Min = append(w.zones.Min, zm.Min...)
 	w.zones.Max = append(w.zones.Max, zm.Max...)
 	w.zones.HasValues = append(w.zones.HasValues, zm.HasValues...)
-	w.n += len(group)
 }
 
 // Len returns the number of values written so far.
 func (w *Writer) Len() int { return w.n + len(w.pending) }
 
-// Close compresses any buffered remainder and returns the serialized
-// column. The Writer must not be used afterwards.
+// Close compresses any buffered remainder, waits for in-flight
+// row-groups, and returns the serialized column. After the first call
+// the Writer only serves Close: Write panics, and every further Close
+// returns the same byte slice the first one produced (it is cached,
+// not re-encoded).
 func (w *Writer) Close() []byte {
-	if !w.closed {
-		if len(w.pending) > 0 {
-			w.flush(w.pending)
-			w.pending = nil
-		}
-		w.closed = true
+	if w.closed {
+		return w.out
 	}
+	if len(w.pending) > 0 {
+		w.flush(w.pending)
+		w.pending = nil
+	}
+	if w.pool != nil {
+		for _, r := range w.pool.Finish() {
+			w.groups = append(w.groups, r.rg)
+			w.appendZones(r.zm)
+		}
+		w.pool = nil
+	}
+	w.closed = true
 	col := &format.Column{N: w.n, RowGroups: w.groups, Zones: &w.zones}
-	return col.Marshal()
+	w.out = col.Marshal()
+	return w.out
 }
 
 // Reader decompresses a column stream vector-at-a-time, the access
