@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run; covers the obs atomic counters from every
-# morsel-parallel scan test. -short skips the timing-sensitive
-# overhead-guard assertions that are meaningless under the race
-# detector's slowdown.
+# morsel-parallel scan test and the cross-codec differential harness
+# (difftest_test.go). -short skips the timing-sensitive overhead-guard
+# assertions that are meaningless under the race detector's slowdown
+# and caps the differential harness's seed count.
 race:
 	$(GO) test -race -short ./...
 
@@ -27,10 +28,12 @@ bench-smoke:
 
 # Short coverage-guided fuzzing runs on top of the checked-in seed
 # corpora (testdata/fuzz/): round-trip losslessness on arbitrary bit
-# patterns, and no-panic + ErrCorrupt on mutated streams.
+# patterns, no-panic + ErrCorrupt on mutated streams, and differential
+# pushdown-vs-naive filtered aggregates under fuzzed predicates.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 20s .
-	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 13s .
+	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 13s .
+	$(GO) test -run '^$$' -fuzz FuzzPushdownAgainstNaive -fuzztime 13s .
 
 # The full PR gate, mirrored by .github/workflows/ci.yml.
 check: vet build test race bench-smoke fuzz-smoke

@@ -230,3 +230,21 @@ func (c *Column) Scheme(g int) (Scheme, error) {
 func (c *Column) SumRange(lo, hi float64) (sum float64, count, vectorsTouched int) {
 	return c.col.SumRange(lo, hi)
 }
+
+// FilterAggResult carries the aggregates of a filtered scan
+// (AggRange). Min and Max are +Inf/-Inf when Count is zero; Touched is
+// the number of vectors whose payload was examined (the rest were
+// skipped via zone maps).
+type FilterAggResult = format.FilterAggResult
+
+// AggRange computes SUM, COUNT, MIN and MAX over the values in
+// [lo, hi] with encoded-domain predicate pushdown: zone maps skip
+// whole vectors, and surviving decimal-scheme vectors evaluate the
+// predicate directly on their FFOR-packed integers — the bounds are
+// translated into each vector's (e, f) domain, which is exact because
+// ALP's decode map is monotone in the encoded integer — so
+// non-qualifying rows are never materialized as floats. ALP_rd
+// row-groups fall back to decode-then-filter. NaN values never match.
+func (c *Column) AggRange(lo, hi float64) FilterAggResult {
+	return c.col.AggRange(lo, hi)
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"github.com/goalp/alp/internal/engine"
 )
 
 // fuzzFloats64 reinterprets raw bytes as little-endian float64 values
@@ -98,6 +100,77 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 				t.Fatalf("value32 %d: got %08x, want %08x",
 					i, math.Float32bits(got32[i]), math.Float32bits(values32[i]))
 			}
+		}
+	})
+}
+
+// FuzzPushdownAgainstNaive differentially fuzzes the encoded-domain
+// predicate pushdown: the first 16 bytes pick a range predicate (two
+// little-endian float64 bounds, swapped into order when comparable),
+// the rest become the column. The pushdown scan, the forced
+// decode-then-filter scan, and a plain-slice fold must agree
+// bit-for-bit on Sum/Count/Min/Max for every input — including NaN or
+// infinite bounds and columns full of exceptions.
+func FuzzPushdownAgainstNaive(f *testing.F) {
+	f.Add(le64(0, 100, 1.25, 50.5, 99.99, -3.25, 100.01))          // band over decimals
+	f.Add(le64(math.NaN(), 1, 0.5, 2.5))                           // NaN bound matches nothing
+	f.Add(le64(0, 0, 0, math.Copysign(0, -1), 1e-300))             // signed zeros on a point band
+	f.Add(le64(math.Inf(-1), math.Inf(1), math.NaN(), math.Pi, 1)) // unbounded over specials
+	f.Add(le64(1e300, 1e308, 1e307, 2.5, math.MaxFloat64))         // bounds beyond encodable range
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 16 {
+			return
+		}
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(raw[8:]))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		values := fuzzFloats64(raw[16:])
+
+		// Plain-slice oracle, folded in index order.
+		var sum float64
+		var count int64
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			if v >= lo && v <= hi {
+				sum += v
+				count++
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+		}
+
+		r := engine.BuildALP(values)
+		p := engine.Between(lo, hi)
+		push, _ := r.FilterAgg(1, p)
+		naive, _ := r.FilterAggNaive(1, p)
+		for _, got := range []struct {
+			name string
+			a    engine.Agg
+		}{{"pushdown", push}, {"naive", naive}} {
+			if math.Float64bits(got.a.Sum) != math.Float64bits(sum) || got.a.Count != count ||
+				math.Float64bits(got.a.Min) != math.Float64bits(min) ||
+				math.Float64bits(got.a.Max) != math.Float64bits(max) {
+				t.Fatalf("%s FilterAgg([%v,%v]) over %d values = %+v, want sum %v count %d min %v max %v",
+					got.name, lo, hi, len(values), got.a, sum, count, min, max)
+			}
+		}
+		if c := r.FilterCount(1, p); c != count {
+			t.Fatalf("FilterCount([%v,%v]) = %d, want %d", lo, hi, c, count)
+		}
+
+		// Public column path (exercises the format layer's scheme switch).
+		res := Compress(values).AggRange(lo, hi)
+		if math.Float64bits(res.Sum) != math.Float64bits(sum) || int64(res.Count) != count ||
+			math.Float64bits(res.Min) != math.Float64bits(min) ||
+			math.Float64bits(res.Max) != math.Float64bits(max) {
+			t.Fatalf("Column.AggRange([%v,%v]) = %+v, want sum %v count %d min %v max %v",
+				lo, hi, res, sum, count, min, max)
 		}
 	})
 }

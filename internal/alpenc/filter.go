@@ -1,0 +1,158 @@
+package alpenc
+
+import (
+	"math/bits"
+
+	"github.com/goalp/alp/internal/fastlanes"
+)
+
+// Predicate translation into the encoded-integer domain.
+//
+// For a fixed combination (e, f) the decode map
+//
+//	dec(d) = fl(fl(float64(d) * 10^f) * 10^-e)
+//
+// is monotone non-decreasing in d: each step is a multiplication by a
+// positive constant, and IEEE-754 round-to-nearest is a monotone
+// function, so the composition preserves order (plateaus are possible,
+// strict order is not required). ALP's lossless contract guarantees
+// dec(d) equals the original value bit-exactly for every non-exception
+// slot, so for a closed float interval [lo, hi] the qualifying encoded
+// integers are exactly
+//
+//	{ d : dec(d) >= lo } ∩ { d : dec(d) <= hi } = [dlo, dhi]
+//
+// — an upward-closed set intersected with a downward-closed one. The
+// boundaries are found by binary search over the encodable range
+// (fast rounding confines encoded integers to ±2^51), which makes the
+// translation exact with ~2·52 multiplications per vector, amortized
+// over 1024 values.
+
+// decLimit bounds the encoded-integer search space: fastRound only
+// produces integers in [-2^51, 2^51].
+const decLimit = int64(1) << 51
+
+// decodeOne applies Formula 2 to a single encoded integer.
+func decodeOne(d int64, df, de float64) float64 {
+	return float64(d) * df * de
+}
+
+// EncodedRange translates the closed float interval [lo, hi] (infinite
+// endpoints allowed, NaN not allowed) into the encoded-integer domain
+// of combination (e, f): on ok, every non-exception encoded integer d
+// of a vector using (e, f) satisfies dec(d) ∈ [lo, hi] ⟺ d ∈
+// [dlo, dhi]. ok=false means no encodable integer can qualify (the
+// caller still has to evaluate the float predicate over exceptions).
+func EncodedRange(lo, hi float64, e, f uint8) (dlo, dhi int64, ok bool) {
+	df, de := F10[f], IF10[e]
+	if decodeOne(decLimit, df, de) < lo || decodeOne(-decLimit, df, de) > hi {
+		return 0, 0, false
+	}
+	dlo = encodedLowerBound(lo, df, de)
+	dhi = encodedUpperBound(hi, df, de)
+	if dlo > dhi {
+		return 0, 0, false
+	}
+	return dlo, dhi, true
+}
+
+// encodedLowerBound returns the smallest d in [-2^51, 2^51] with
+// dec(d) >= lo. The caller has checked that at least one such d exists.
+func encodedLowerBound(lo float64, df, de float64) int64 {
+	l, h := -decLimit, decLimit
+	for l < h {
+		m := l + (h-l)/2
+		if decodeOne(m, df, de) >= lo {
+			h = m
+		} else {
+			l = m + 1
+		}
+	}
+	return l
+}
+
+// encodedUpperBound returns the largest d in [-2^51, 2^51] with
+// dec(d) <= hi. The caller has checked that at least one such d exists.
+func encodedUpperBound(hi float64, df, de float64) int64 {
+	l, h := -decLimit, decLimit
+	for l < h {
+		m := l + (h-l+1)/2
+		if decodeOne(m, df, de) <= hi {
+			l = m
+		} else {
+			h = m - 1
+		}
+	}
+	return l
+}
+
+// Filter evaluates the closed range [lo, hi] over the vector in the
+// encoded domain, writing a selection bitmap into sel
+// (fastlanes.SelWords(v.N) words, fully overwritten) and returning the
+// match count.
+//
+// Non-exception slots are decided by the fused FFOR unpack+compare
+// kernel without reconstructing any float. Exception slots hold a
+// placeholder integer in the FFOR payload, so whatever the kernel
+// computed for them is discarded and replaced by the float-domain
+// predicate over the stored exception value — this is also what makes
+// NaN never match and ±Inf, -0.0 and out-of-range values behave exactly
+// like a decode-then-filter scan.
+//
+// scratch must hold v.N int64s; on return it holds the raw packed
+// integers, the invariant GatherSelected relies on.
+func (v *Vector) Filter(lo, hi float64, sel []uint64, scratch []int64) int {
+	var count int
+	if dlo, dhi, ok := EncodedRange(lo, hi, v.E, v.F); ok {
+		count = v.Ints.FilterRange(dlo, dhi, sel, scratch)
+	} else {
+		for i := 0; i < fastlanes.SelWords(v.N); i++ {
+			sel[i] = 0
+		}
+	}
+	for k, pos := range v.ExcPos {
+		x := v.ExcVals[k]
+		want := x >= lo && x <= hi // false for NaN
+		word, bit := int(pos)>>6, uint64(1)<<uint(pos&63)
+		has := sel[word]&bit != 0
+		if want && !has {
+			sel[word] |= bit
+			count++
+		} else if !want && has {
+			sel[word] &^= bit
+			count--
+		}
+	}
+	return count
+}
+
+// GatherSelected materializes the rows selected by sel into dst
+// (written densely from index 0, in position order) and returns how
+// many were written. It must be called right after Filter with the
+// same scratch buffer: selected non-exception rows are reconstructed
+// from the raw packed integers left in scratch, selected exception
+// rows come from the exception segment. Only qualifying rows are ever
+// converted to floats.
+func (v *Vector) GatherSelected(sel []uint64, scratch []int64, dst []float64) int {
+	df, de := F10[v.F], IF10[v.E]
+	base := v.Ints.Base
+	n := 0
+	k := 0
+	for w := 0; w < fastlanes.SelWords(v.N); w++ {
+		word := sel[w]
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			for k < len(v.ExcPos) && int(v.ExcPos[k]) < i {
+				k++
+			}
+			if k < len(v.ExcPos) && int(v.ExcPos[k]) == i {
+				dst[n] = v.ExcVals[k]
+			} else {
+				dst[n] = float64(scratch[i]+base) * df * de
+			}
+			n++
+		}
+	}
+	return n
+}

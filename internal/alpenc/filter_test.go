@@ -1,0 +1,183 @@
+package alpenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/goalp/alp/internal/fastlanes"
+)
+
+// encodeForTest runs the sampler-free encode path: pick the combo by
+// brute force over a few candidates so tests control (e, f) pressure.
+func encodeForTest(values []float64, c Combo) Vector {
+	return EncodeVector(values, c, nil)
+}
+
+// filterVectorOracle evaluates the predicate over the original values.
+func filterVectorOracle(values []float64, lo, hi float64) ([]uint64, int) {
+	sel := make([]uint64, fastlanes.SelWords(len(values)))
+	count := 0
+	for i, x := range values {
+		if x >= lo && x <= hi {
+			sel[i>>6] |= 1 << uint(i&63)
+			count++
+		}
+	}
+	return sel, count
+}
+
+func checkVectorFilter(t *testing.T, values []float64, c Combo, lo, hi float64) {
+	t.Helper()
+	v := encodeForTest(values, c)
+	sel := make([]uint64, fastlanes.SelWords(len(values)))
+	scratch := make([]int64, len(values))
+	got := v.Filter(lo, hi, sel, scratch)
+	wantSel, want := filterVectorOracle(values, lo, hi)
+	if got != want {
+		t.Fatalf("Filter([%v, %v]) count = %d, want %d (combo e=%d f=%d, %d exceptions)",
+			lo, hi, got, want, c.E, c.F, v.Exceptions())
+	}
+	for i := range wantSel {
+		if sel[i] != wantSel[i] {
+			t.Fatalf("Filter([%v, %v]) sel[%d] = %016x, want %016x", lo, hi, i, sel[i], wantSel[i])
+		}
+	}
+	// Gather must reproduce the qualifying values bit-exactly, in order.
+	dst := make([]float64, len(values))
+	n := v.GatherSelected(sel, scratch, dst)
+	if n != want {
+		t.Fatalf("GatherSelected wrote %d values, want %d", n, want)
+	}
+	j := 0
+	for i, x := range values {
+		if x >= lo && x <= hi {
+			if math.Float64bits(dst[j]) != math.Float64bits(x) {
+				t.Fatalf("gathered[%d] = %x, want values[%d] = %x",
+					j, math.Float64bits(dst[j]), i, math.Float64bits(x))
+			}
+			j++
+		}
+	}
+}
+
+func TestEncodedRangeMonotoneBoundaries(t *testing.T) {
+	// For a handful of combos and random bounds, the binary-searched
+	// boundaries must be exact: dec(dlo) >= lo, dec(dlo-1) < lo, and
+	// symmetrically for dhi.
+	r := rand.New(rand.NewSource(7))
+	combos := []Combo{{E: 0, F: 0}, {E: 2, F: 1}, {E: 14, F: 12}, {E: 21, F: 0}, {E: 21, F: 21}, {E: 5, F: 5}}
+	for _, c := range combos {
+		df, de := F10[c.F], IF10[c.E]
+		for trial := 0; trial < 200; trial++ {
+			lo := (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(10)))
+			hi := lo + r.Float64()*math.Pow(10, float64(r.Intn(8)))
+			dlo, dhi, ok := EncodedRange(lo, hi, c.E, c.F)
+			if !ok {
+				continue
+			}
+			if got := decodeOne(dlo, df, de); got < lo {
+				t.Fatalf("combo %v: dec(dlo=%d) = %v < lo = %v", c, dlo, got, lo)
+			}
+			if dlo > -decLimit {
+				if got := decodeOne(dlo-1, df, de); got >= lo {
+					t.Fatalf("combo %v: dec(dlo-1=%d) = %v >= lo = %v (dlo not minimal)", c, dlo-1, got, lo)
+				}
+			}
+			if got := decodeOne(dhi, df, de); got > hi {
+				t.Fatalf("combo %v: dec(dhi=%d) = %v > hi = %v", c, dhi, got, hi)
+			}
+			if dhi < decLimit {
+				if got := decodeOne(dhi+1, df, de); got <= hi {
+					t.Fatalf("combo %v: dec(dhi+1=%d) = %v <= hi = %v (dhi not maximal)", c, dhi+1, got, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestVectorFilterDecimals(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	values := make([]float64, 1024)
+	for i := range values {
+		values[i] = float64(r.Intn(100000)) / 100 // 2-decimal prices
+	}
+	c := Combo{E: 2, F: 0}
+	bounds := [][2]float64{
+		{100, 200},
+		{0, 999.99},
+		{500.25, 500.25}, // point predicate
+		{-10, -1},        // nothing
+		{999, 2000},      // upper tail
+		{values[0], values[0]},
+		{math.Inf(-1), math.Inf(1)}, // everything
+		{math.Inf(-1), 250},
+		{250, math.Inf(1)},
+	}
+	for _, b := range bounds {
+		checkVectorFilter(t, values, c, b[0], b[1])
+	}
+}
+
+func TestVectorFilterExceptions(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	values := make([]float64, 1024)
+	for i := range values {
+		values[i] = float64(r.Intn(10000)) / 100
+	}
+	// Sprinkle exception-forcing values: specials and undecodable reals.
+	values[0] = math.NaN()
+	values[1] = math.Inf(1)
+	values[2] = math.Inf(-1)
+	values[3] = math.Copysign(0, -1)
+	values[4] = math.Pi
+	values[511] = 1e300
+	values[1023] = math.NaN()
+	c := Combo{E: 2, F: 0}
+	bounds := [][2]float64{
+		{0, 50},
+		{math.Inf(-1), math.Inf(1)}, // everything except NaN
+		{math.Inf(1), math.Inf(1)},  // only +Inf
+		{math.Inf(-1), math.Inf(-1)},
+		{0, 0},               // +0.0 and -0.0 both match
+		{3, 4},               // catches pi via exception patching
+		{1e299, math.Inf(1)}, // catches 1e300 and +Inf
+	}
+	for _, b := range bounds {
+		checkVectorFilter(t, values, c, b[0], b[1])
+	}
+}
+
+func TestVectorFilterAllExceptions(t *testing.T) {
+	// A vector that is 100% exceptions: every slot holds the placeholder
+	// integer, so correctness depends entirely on patching.
+	values := make([]float64, 300)
+	for i := range values {
+		if i%2 == 0 {
+			values[i] = math.NaN()
+		} else {
+			values[i] = math.Sqrt2 * float64(i)
+		}
+	}
+	c := Combo{E: 0, F: 0}
+	checkVectorFilter(t, values, c, 0, 1000)
+	checkVectorFilter(t, values, c, math.Inf(-1), math.Inf(1))
+	checkVectorFilter(t, values, c, 5, 5)
+
+	allNaN := make([]float64, 128)
+	for i := range allNaN {
+		allNaN[i] = math.NaN()
+	}
+	checkVectorFilter(t, allNaN, c, math.Inf(-1), math.Inf(1))
+	checkVectorFilter(t, allNaN, c, 0, 0)
+}
+
+func TestVectorFilterBoundsOutsideEncodableRange(t *testing.T) {
+	values := []float64{1.5, 2.5, 3.5, 4.5}
+	c := Combo{E: 1, F: 0}
+	// Bounds beyond ±2^51 in the encoded domain: the translation must
+	// clamp, not overflow.
+	checkVectorFilter(t, values, c, -1e308, 1e308)
+	checkVectorFilter(t, values, c, 1e300, 1e308)
+	checkVectorFilter(t, values, c, -1e308, -1e300)
+}

@@ -35,16 +35,21 @@ type Relation struct {
 	Parts []Partition
 }
 
-// CompressedBytes sums the compressed footprint across partitions for
-// relations whose partitions expose a size; it returns 0 otherwise.
-func (r *Relation) CompressedBytes() int {
-	total := 0
+// CompressedBytes sums the compressed footprint across partitions. ok
+// is false when one or more partitions do not expose a size — the sum
+// then covers only the partitions that do, so a benchmark comparing
+// compression ratios can detect the undercount instead of silently
+// reporting a partial figure.
+func (r *Relation) CompressedBytes() (total int, ok bool) {
+	ok = true
 	for _, p := range r.Parts {
-		if s, ok := p.(interface{ SizeBytes() int }); ok {
+		if s, sized := p.(interface{ SizeBytes() int }); sized {
 			total += s.SizeBytes()
+		} else {
+			ok = false
 		}
 	}
-	return total
+	return total, ok
 }
 
 // run executes fn over all partitions with the given number of worker

@@ -65,12 +65,43 @@ func TestPartitionSizes(t *testing.T) {
 	if len(r.Parts) != 3 {
 		t.Fatalf("got %d partitions, want 3", len(r.Parts))
 	}
-	if r.CompressedBytes() <= 0 || r.CompressedBytes() >= len(values)*8 {
-		t.Fatalf("ALP compressed to %d bytes of %d raw", r.CompressedBytes(), len(values)*8)
+	if got, ok := r.CompressedBytes(); !ok || got <= 0 || got >= len(values)*8 {
+		t.Fatalf("ALP compressed to %d bytes of %d raw (ok=%v)", got, len(values)*8, ok)
 	}
 	u := BuildUncompressed(values)
-	if u.CompressedBytes() != len(values)*8 {
-		t.Fatalf("uncompressed footprint %d, want %d", u.CompressedBytes(), len(values)*8)
+	if got, ok := u.CompressedBytes(); !ok || got != len(values)*8 {
+		t.Fatalf("uncompressed footprint %d, want %d (ok=%v)", got, len(values)*8, ok)
+	}
+}
+
+// TestCompressedBytesPartial: a relation mixing sized and unsized
+// partitions must report ok=false so callers cannot mistake a partial
+// sum for the full footprint.
+func TestCompressedBytesPartial(t *testing.T) {
+	values := testValues(2 * vector.Size)
+	r := BuildUncompressed(values)
+	r.Parts = append(r.Parts, &barePartition{values: values})
+	got, ok := r.CompressedBytes()
+	if ok {
+		t.Fatal("CompressedBytes ok = true with an unsized partition")
+	}
+	if got != len(values)*8 {
+		t.Fatalf("partial sum = %d, want %d (the sized partitions only)", got, len(values)*8)
+	}
+}
+
+// barePartition implements only the Partition interface, no SizeBytes.
+type barePartition struct{ values []float64 }
+
+func (p *barePartition) Len() int { return len(p.values) }
+func (p *barePartition) Scan(buf []float64, emit func([]float64)) {
+	for lo := 0; lo < len(p.values); lo += vector.Size {
+		hi := lo + vector.Size
+		if hi > len(p.values) {
+			hi = len(p.values)
+		}
+		n := copy(buf, p.values[lo:hi])
+		emit(buf[:n])
 	}
 }
 

@@ -1,0 +1,122 @@
+package fastlanes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// filterOracle computes the expected selection bitmap and count with a
+// plain loop over the original values.
+func filterOracle(src []int64, dlo, dhi int64) ([]uint64, int) {
+	sel := make([]uint64, SelWords(len(src)))
+	count := 0
+	for i, v := range src {
+		if v >= dlo && v <= dhi {
+			sel[i>>6] |= 1 << uint(i&63)
+			count++
+		}
+	}
+	return sel, count
+}
+
+func checkFilter(t *testing.T, src []int64, dlo, dhi int64) {
+	t.Helper()
+	f := EncodeFFOR(src)
+	sel := make([]uint64, SelWords(len(src)))
+	// Pre-poison sel to catch missing clears.
+	for i := range sel {
+		sel[i] = ^uint64(0)
+	}
+	scratch := make([]int64, len(src))
+	got := f.FilterRange(dlo, dhi, sel, scratch)
+	wantSel, want := filterOracle(src, dlo, dhi)
+	if got != want {
+		t.Fatalf("FilterRange(%d, %d) count = %d, want %d", dlo, dhi, got, want)
+	}
+	for i := range wantSel {
+		if sel[i] != wantSel[i] {
+			t.Fatalf("FilterRange(%d, %d) sel[%d] = %016x, want %016x", dlo, dhi, i, sel[i], wantSel[i])
+		}
+	}
+}
+
+func TestFilterRangeAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	lengths := []int{0, 1, 7, 63, 64, 65, 127, 128, 1000, 1024}
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			base := r.Int63n(1<<40) - 1<<39
+			width := r.Intn(20)
+			src := make([]int64, n)
+			for i := range src {
+				src[i] = base + r.Int63n(1<<uint(width)+1)
+			}
+			var dlo, dhi int64
+			switch trial % 4 {
+			case 0: // band inside the value range
+				dlo = base + r.Int63n(1<<uint(width)+1)
+				dhi = dlo + r.Int63n(1<<uint(width)+1)
+			case 1: // everything
+				dlo, dhi = base-10, base+1<<uint(width)+10
+			case 2: // nothing (below)
+				dlo, dhi = base-100, base-1
+			case 3: // nothing (above)
+				dlo, dhi = base+1<<uint(width)+1, base+1<<uint(width)+100
+			}
+			checkFilter(t, src, dlo, dhi)
+		}
+	}
+}
+
+func TestFilterRangeEdges(t *testing.T) {
+	src := []int64{-5, -1, 0, 1, 5, 5, 5, 1 << 20}
+	cases := [][2]int64{
+		{-5, 1 << 20},        // whole range, bounds exactly on min/max
+		{-5, -5},             // point match on the base
+		{1 << 20, 1 << 20},   // point match on the max
+		{5, 5},               // duplicated value
+		{6, 1<<20 - 1},       // gap between values
+		{10, 5},              // inverted bounds: empty
+		{-1 << 60, 1 << 60},  // bounds far outside the packed range
+		{-1 << 60, -6},       // entirely below
+		{1<<20 + 1, 1 << 60}, // entirely above
+		{0, 0},               // zero point
+		{-4611686018427387904, 4611686018427387903}, // ±2^62: no int64 overflow in the shift
+	}
+	for _, c := range cases {
+		checkFilter(t, src, c[0], c[1])
+	}
+}
+
+func TestFilterRangeConstantVector(t *testing.T) {
+	// Width-0 FFOR: every value equals the base; the kernel must decide
+	// from the bounds alone.
+	src := make([]int64, 200)
+	for i := range src {
+		src[i] = 42
+	}
+	checkFilter(t, src, 42, 42)
+	checkFilter(t, src, 0, 41)
+	checkFilter(t, src, 43, 100)
+	checkFilter(t, src, 0, 100)
+}
+
+func TestFilterRangeScratchHoldsPacked(t *testing.T) {
+	// The documented invariant: after a match, scratch[i] + Base
+	// reconstructs the selected value.
+	src := []int64{100, 200, 300, 400}
+	f := EncodeFFOR(src)
+	sel := make([]uint64, 1)
+	scratch := make([]int64, len(src))
+	n := f.FilterRange(150, 350, sel, scratch)
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	for i, v := range src {
+		if sel[0]&(1<<uint(i)) != 0 {
+			if got := scratch[i] + f.Base; got != v {
+				t.Fatalf("scratch[%d]+Base = %d, want %d", i, got, v)
+			}
+		}
+	}
+}

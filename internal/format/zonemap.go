@@ -59,6 +59,14 @@ func (zm *ZoneMap) MayContain(v int, lo, hi float64) bool {
 	return zm.Max[v] >= lo && zm.Min[v] <= hi
 }
 
+// Contains reports whether every non-NaN value of vector v is certain
+// to lie inside [lo, hi]. All-NaN vectors report false (nothing
+// matches), and a NaN bound fails every comparison, so Contains is
+// never true for a predicate that could reject a row on bounds alone.
+func (zm *ZoneMap) Contains(v int, lo, hi float64) bool {
+	return zm.HasValues[v] && zm.Min[v] >= lo && zm.Max[v] <= hi
+}
+
 // SizeBits returns the zone map's storage cost in bits.
 func (zm *ZoneMap) SizeBits() int {
 	return len(zm.Min)*(64+64) + len(zm.Min) // two doubles + presence bit

@@ -60,6 +60,11 @@ type Collector struct {
 	morselClaims   atomic.Int64 // partitions claimed by scan workers
 	scanWorkers    atomic.Int64 // worker goroutines launched by the engine
 
+	// Encoded-domain predicate pushdown.
+	pushdownVectors   atomic.Int64 // vectors filtered by the fused unpack+compare kernel
+	pushdownFallbacks atomic.Int64 // vectors that fell back to decode-then-filter
+	selectedRows      atomic.Int64 // rows that qualified under a pushed-down predicate
+
 	// Encode/decode pipeline (internal/pipeline worker pool).
 	pipelineWorkers atomic.Int64 // workers spawned by the codec pipeline
 	pipelineClaims  atomic.Int64 // row-groups claimed by pipeline workers
@@ -171,6 +176,34 @@ func (c *Collector) RangeScan() {
 	c.rangeScans.Add(1)
 }
 
+// PushdownVector records one vector whose range predicate was
+// evaluated in the encoded-integer domain by the fused unpack+compare
+// kernel, without decoding to floats.
+func (c *Collector) PushdownVector() {
+	if c == nil {
+		return
+	}
+	c.pushdownVectors.Add(1)
+}
+
+// PushdownFallback records one vector that could not be filtered in
+// the encoded domain (ALP_rd or baseline partitions) and was decoded
+// and filtered in the float domain instead.
+func (c *Collector) PushdownFallback() {
+	if c == nil {
+		return
+	}
+	c.pushdownFallbacks.Add(1)
+}
+
+// RowsSelected records n rows qualifying under a filtered scan.
+func (c *Collector) RowsSelected(n int) {
+	if c == nil {
+		return
+	}
+	c.selectedRows.Add(int64(n))
+}
+
 // MorselClaim records one partition claimed by a scan worker.
 func (c *Collector) MorselClaim() {
 	if c == nil {
@@ -245,6 +278,10 @@ type Snapshot struct {
 	MorselClaims   int64
 	ScanWorkers    int64
 
+	PushdownVectors   int64
+	PushdownFallbacks int64
+	SelectedRows      int64
+
 	PipelineWorkers int64
 	PipelineClaims  int64
 	PipelineStalls  int64
@@ -278,6 +315,9 @@ func (c *Collector) Snapshot() Snapshot {
 	s.RangeScans = c.rangeScans.Load()
 	s.MorselClaims = c.morselClaims.Load()
 	s.ScanWorkers = c.scanWorkers.Load()
+	s.PushdownVectors = c.pushdownVectors.Load()
+	s.PushdownFallbacks = c.pushdownFallbacks.Load()
+	s.SelectedRows = c.selectedRows.Load()
 	s.PipelineWorkers = c.pipelineWorkers.Load()
 	s.PipelineClaims = c.pipelineClaims.Load()
 	s.PipelineStalls = c.pipelineStalls.Load()
@@ -311,6 +351,9 @@ func (c *Collector) Reset() {
 	c.rangeScans.Store(0)
 	c.morselClaims.Store(0)
 	c.scanWorkers.Store(0)
+	c.pushdownVectors.Store(0)
+	c.pushdownFallbacks.Store(0)
+	c.selectedRows.Store(0)
 	c.pipelineWorkers.Store(0)
 	c.pipelineClaims.Store(0)
 	c.pipelineStalls.Store(0)
@@ -372,6 +415,9 @@ func (s Snapshot) String() string {
 	f("range_scans", s.RangeScans)
 	f("morsel_claims", s.MorselClaims)
 	f("scan_workers", s.ScanWorkers)
+	f("pushdown_vectors", s.PushdownVectors)
+	f("pushdown_fallbacks", s.PushdownFallbacks)
+	f("selected_rows", s.SelectedRows)
 	f("pipeline_workers", s.PipelineWorkers)
 	f("pipeline_claims", s.PipelineClaims)
 	f("pipeline_stalls", s.PipelineStalls)

@@ -45,6 +45,11 @@ type Stats struct {
 	MorselClaims   int64 // partitions claimed by engine scan workers
 	ScanWorkers    int64 // scan worker goroutines launched
 
+	// Encoded-domain predicate pushdown (filtered scans).
+	PushdownVectors   int64 // vectors filtered by the fused unpack+compare kernel
+	PushdownFallbacks int64 // filtered-scan vectors that decoded to floats instead
+	SelectedRows      int64 // rows qualifying under pushed-down predicates
+
 	// Encode/decode pipeline (the worker pool behind EncodeParallel,
 	// DecodeParallel and NewWriterParallel).
 	PipelineWorkers int64 // pipeline worker goroutines spawned
@@ -94,6 +99,9 @@ func statsFromSnapshot(s obs.Snapshot) Stats {
 		RangeScans:            s.RangeScans,
 		MorselClaims:          s.MorselClaims,
 		ScanWorkers:           s.ScanWorkers,
+		PushdownVectors:       s.PushdownVectors,
+		PushdownFallbacks:     s.PushdownFallbacks,
+		SelectedRows:          s.SelectedRows,
 		PipelineWorkers:       s.PipelineWorkers,
 		PipelineClaims:        s.PipelineClaims,
 		PipelineStalls:        s.PipelineStalls,
@@ -114,6 +122,16 @@ func (s Stats) DecodeNsPerValue() float64 {
 		return 0
 	}
 	return float64(s.DecodeNs) / float64(s.DecodeValues)
+}
+
+// PushdownRate returns the fraction of filtered-scan vectors answered
+// by the encoded-domain kernel rather than decode-then-filter.
+func (s Stats) PushdownRate() float64 {
+	total := s.PushdownVectors + s.PushdownFallbacks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PushdownVectors) / float64(total)
 }
 
 // SkipRate returns the fraction of scan vectors pruned by zone maps.
@@ -154,6 +172,9 @@ func statsToSnapshot(s Stats) obs.Snapshot {
 		RangeScans:            s.RangeScans,
 		MorselClaims:          s.MorselClaims,
 		ScanWorkers:           s.ScanWorkers,
+		PushdownVectors:       s.PushdownVectors,
+		PushdownFallbacks:     s.PushdownFallbacks,
+		SelectedRows:          s.SelectedRows,
 		PipelineWorkers:       s.PipelineWorkers,
 		PipelineClaims:        s.PipelineClaims,
 		PipelineStalls:        s.PipelineStalls,
