@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke fuzz-smoke check clean
+.PHONY: all build vet test race bench-smoke fuzz-smoke serve-smoke server-race check clean
 
 all: check
 
@@ -35,8 +35,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 13s .
 	$(GO) test -run '^$$' -fuzz FuzzPushdownAgainstNaive -fuzztime 13s .
 
+# End-to-end smoke of the column service: build the real alpserved
+# binary, boot it on an ephemeral port, run an ingest -> scan -> agg
+# round-trip through the typed client (agg checked bit-identical to
+# the in-process engine), then SIGTERM and verify the graceful drain.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/alpserved
+
+# The server integration tests (shedding, drain, retry, end-to-end
+# bit-identity) under the race detector — the service is the most
+# concurrent code in the repo.
+server-race:
+	$(GO) test -race -count=1 ./internal/server ./client ./cmd/alpserved
+
 # The full PR gate, mirrored by .github/workflows/ci.yml.
-check: vet build test race bench-smoke fuzz-smoke
+check: vet build test race bench-smoke serve-smoke server-race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -248,3 +248,19 @@ type FilterAggResult = format.FilterAggResult
 func (c *Column) AggRange(lo, hi float64) FilterAggResult {
 	return c.col.AggRange(lo, hi)
 }
+
+// EncodedVector returns vector i serialized as a standalone
+// self-describing envelope: the vector's compressed payload plus the
+// row-group state (ALP_rd cut/dictionary) a decoder needs, so the
+// envelope decodes without the rest of the column. This is the unit
+// alpserved ships to thin clients that decode locally.
+func (c *Column) EncodedVector(i int) ([]byte, error) {
+	return c.col.MarshalVector(i)
+}
+
+// DecodeEncodedVector decodes a single-vector envelope produced by
+// Column.EncodedVector into dst (room for VectorSize values) and
+// returns the number of values written.
+func DecodeEncodedVector(data []byte, dst []float64) (int, error) {
+	return format.UnmarshalVector(data, dst, nil)
+}

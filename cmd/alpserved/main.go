@@ -1,0 +1,108 @@
+// Command alpserved serves ALP-compressed columns over HTTP: streaming
+// ingest into the parallel Writer, server-side predicate pushdown
+// (agg/count/scan), raw encoded-vector shipping for thin clients, and
+// the codec-wide metrics endpoint. See internal/server for the API and
+// the client package for the typed Go client.
+//
+// Usage:
+//
+//	alpserved -addr :8080
+//	alpserved -addr 127.0.0.1:0 -max-concurrent 32 -timeout 10s
+//
+// The listen address is printed as "alpserved: listening on ADDR" once
+// the socket is bound (with -addr :0 this is how callers learn the
+// port). SIGINT/SIGTERM trigger a graceful drain: in-flight requests
+// complete, new ones are refused with 503, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/goalp/alp"
+	"github.com/goalp/alp/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		maxConc = flag.Int("max-concurrent", 0, "max in-flight requests before shedding with 429 (0 = 4x GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxBody = flag.Int64("max-body", 1<<30, "ingest body cap in bytes")
+		workers = flag.Int("ingest-workers", 0, "row-group encode workers per ingest (0 = one per CPU)")
+		threads = flag.Int("threads", 1, "default scan parallelism (1 = bit-identical to serial)")
+		retryIn = flag.Duration("retry-after", time.Second, "Retry-After hint returned with shed load")
+		drainT  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		debug   = flag.Bool("debug", false, "also serve /debug/vars and /debug/pprof")
+	)
+	flag.Parse()
+
+	alp.EnableStats()
+	srv := server.New(server.Options{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		RetryAfter:     *retryIn,
+		IngestWorkers:  *workers,
+		DefaultThreads: *threads,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *debug {
+		expvar.Publish("alp", expvar.Func(func() any { return alp.ReadStats() }))
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alpserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("alpserved: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "alpserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "alpserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	// Drain the handler gate first (in-flight requests complete, new
+	// ones get 503), then close the listener and idle connections.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "alpserved: drain:", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "alpserved: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "alpserved: stopped")
+}

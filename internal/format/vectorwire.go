@@ -1,0 +1,108 @@
+// Per-vector wire serialization: a single compressed vector packaged
+// as a self-describing envelope, so a network service can ship one
+// encoded vector to a thin client that decodes it locally — the server
+// never converts integers back to floats. The envelope duplicates the
+// row-group state a standalone decode needs (the ALP_rd cut position,
+// code width and dictionary; decimal-scheme vectors are already
+// self-contained), which costs a few bytes per vector but makes every
+// envelope independently decodable.
+package format
+
+import (
+	"encoding/binary"
+
+	"github.com/goalp/alp/internal/alprd"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// VectorMagic identifies a single-vector envelope ("ALPV" little-endian).
+const VectorMagic = uint32(0x56504C41)
+
+// MarshalVector serializes vector i as a standalone envelope that
+// UnmarshalVector can decode without the rest of the column.
+func (c *Column) MarshalVector(i int) ([]byte, error) {
+	if i < 0 || i >= c.NumVectors() {
+		return nil, corrupt("vector %d out of range [0, %d)", i, c.NumVectors())
+	}
+	g := i / vector.RowGroupVectors
+	local := i % vector.RowGroupVectors
+	rg := &c.RowGroups[g]
+	out := make([]byte, 0, 64)
+	out = binary.LittleEndian.AppendUint32(out, VectorMagic)
+	out = append(out, byte(rg.Scheme))
+	if rg.Scheme == SchemeRD {
+		out = append(out, rg.RD.P, byte(rg.RD.CodeWidth), byte(len(rg.RD.Dict)))
+		for _, d := range rg.RD.Dict {
+			out = binary.LittleEndian.AppendUint16(out, d)
+		}
+		return marshalRDVector(out, &rg.RDVectors[local]), nil
+	}
+	return marshalALPVector(out, &rg.Vectors[local]), nil
+}
+
+// UnmarshalVector parses a single-vector envelope produced by
+// MarshalVector and decodes it into dst (room for vector.Size values),
+// returning the number of values written. scratch must hold
+// vector.Size int64s, or be nil to allocate per call.
+func UnmarshalVector(data []byte, dst []float64, scratch []int64) (int, error) {
+	r := &reader{data: data}
+	if r.u32() != VectorMagic {
+		if r.err != nil {
+			return 0, r.err
+		}
+		return 0, corrupt("bad vector envelope magic")
+	}
+	scheme := Scheme(r.u8())
+	if r.err != nil {
+		return 0, r.err
+	}
+	if scheme > SchemeRD {
+		return 0, corrupt("unknown scheme %d", scheme)
+	}
+	if scratch == nil {
+		scratch = make([]int64, vector.Size)
+	}
+	if scheme == SchemeRD {
+		p := r.u8()
+		cw := uint(r.u8())
+		dictLen := int(r.u8())
+		if r.err != nil {
+			return 0, r.err
+		}
+		if p > 63 {
+			return 0, corrupt("RD cut position %d", p)
+		}
+		if cw > alprd.MaxDictBits || dictLen > 1<<cw {
+			return 0, corrupt("RD dictionary: width %d size %d", cw, dictLen)
+		}
+		dict := make([]uint16, dictLen)
+		for i := range dict {
+			dict[i] = r.u16()
+		}
+		enc := alprd.NewEncoder(p, cw, dict)
+		v, err := unmarshalRDVector(r, p, cw)
+		if err != nil {
+			return 0, err
+		}
+		if r.pos != len(r.data) {
+			return 0, corrupt("%d trailing bytes after vector payload", len(r.data)-r.pos)
+		}
+		if len(dst) < v.N {
+			return 0, corrupt("destination holds %d values, vector has %d", len(dst), v.N)
+		}
+		enc.DecodeVector(&v, dst[:v.N])
+		return v.N, nil
+	}
+	v, err := unmarshalALPVector(r)
+	if err != nil {
+		return 0, err
+	}
+	if r.pos != len(r.data) {
+		return 0, corrupt("%d trailing bytes after vector payload", len(r.data)-r.pos)
+	}
+	if len(dst) < v.N {
+		return 0, corrupt("destination holds %d values, vector has %d", len(dst), v.N)
+	}
+	v.Decode(dst[:v.N], scratch)
+	return v.N, nil
+}

@@ -69,6 +69,15 @@ type Collector struct {
 	pipelineWorkers atomic.Int64 // workers spawned by the codec pipeline
 	pipelineClaims  atomic.Int64 // row-groups claimed by pipeline workers
 	pipelineStalls  atomic.Int64 // submissions that blocked on a full window
+
+	// Column service (internal/server).
+	serverRequests atomic.Int64 // HTTP requests admitted by the service
+	serverSheds    atomic.Int64 // requests shed with 429 by the concurrency limiter
+	serverRefused  atomic.Int64 // requests refused with 503 while draining
+	serverBytesIn  atomic.Int64 // request payload bytes read (ingest)
+	serverBytesOut atomic.Int64 // response payload bytes written
+	serverScans    atomic.Int64 // scan/agg/count requests served
+	serverScanNs   atomic.Int64 // wall ns spent inside scan/agg/count handlers
 }
 
 // ---- encode-side hooks ----
@@ -249,6 +258,62 @@ func (c *Collector) PipelineStall() {
 	c.pipelineStalls.Add(1)
 }
 
+// ---- column-service hooks ----
+
+// ServerRequest records one HTTP request admitted past the service's
+// concurrency limiter.
+func (c *Collector) ServerRequest() {
+	if c == nil {
+		return
+	}
+	c.serverRequests.Add(1)
+}
+
+// ServerShed records one request shed with 429 because the concurrency
+// limiter was saturated.
+func (c *Collector) ServerShed() {
+	if c == nil {
+		return
+	}
+	c.serverSheds.Add(1)
+}
+
+// ServerRefused records one request refused with 503 while the service
+// was draining for shutdown.
+func (c *Collector) ServerRefused() {
+	if c == nil {
+		return
+	}
+	c.serverRefused.Add(1)
+}
+
+// ServerBytesIn records n request payload bytes read by the service.
+func (c *Collector) ServerBytesIn(n int64) {
+	if c == nil {
+		return
+	}
+	c.serverBytesIn.Add(n)
+}
+
+// ServerBytesOut records n response payload bytes written by the
+// service.
+func (c *Collector) ServerBytesOut(n int64) {
+	if c == nil {
+		return
+	}
+	c.serverBytesOut.Add(n)
+}
+
+// ServerScan records one served scan/agg/count request taking ns wall
+// time end-to-end inside the handler.
+func (c *Collector) ServerScan(ns int64) {
+	if c == nil {
+		return
+	}
+	c.serverScans.Add(1)
+	c.serverScanNs.Add(ns)
+}
+
 // ---- snapshot ----
 
 // Snapshot is a point-in-time copy of every counter, safe to read,
@@ -285,6 +350,14 @@ type Snapshot struct {
 	PipelineWorkers int64
 	PipelineClaims  int64
 	PipelineStalls  int64
+
+	ServerRequests int64
+	ServerSheds    int64
+	ServerRefused  int64
+	ServerBytesIn  int64
+	ServerBytesOut int64
+	ServerScans    int64
+	ServerScanNs   int64
 }
 
 // Snapshot copies the counters. A nil Collector yields a zero Snapshot.
@@ -321,6 +394,13 @@ func (c *Collector) Snapshot() Snapshot {
 	s.PipelineWorkers = c.pipelineWorkers.Load()
 	s.PipelineClaims = c.pipelineClaims.Load()
 	s.PipelineStalls = c.pipelineStalls.Load()
+	s.ServerRequests = c.serverRequests.Load()
+	s.ServerSheds = c.serverSheds.Load()
+	s.ServerRefused = c.serverRefused.Load()
+	s.ServerBytesIn = c.serverBytesIn.Load()
+	s.ServerBytesOut = c.serverBytesOut.Load()
+	s.ServerScans = c.serverScans.Load()
+	s.ServerScanNs = c.serverScanNs.Load()
 	return s
 }
 
@@ -357,6 +437,13 @@ func (c *Collector) Reset() {
 	c.pipelineWorkers.Store(0)
 	c.pipelineClaims.Store(0)
 	c.pipelineStalls.Store(0)
+	c.serverRequests.Store(0)
+	c.serverSheds.Store(0)
+	c.serverRefused.Store(0)
+	c.serverBytesIn.Store(0)
+	c.serverBytesOut.Store(0)
+	c.serverScans.Store(0)
+	c.serverScanNs.Store(0)
 }
 
 // EncodeNsPerValue returns the average encode cost in ns/value.
@@ -421,6 +508,13 @@ func (s Snapshot) String() string {
 	f("pipeline_workers", s.PipelineWorkers)
 	f("pipeline_claims", s.PipelineClaims)
 	f("pipeline_stalls", s.PipelineStalls)
+	f("server_requests", s.ServerRequests)
+	f("server_sheds", s.ServerSheds)
+	f("server_refused", s.ServerRefused)
+	f("server_bytes_in", s.ServerBytesIn)
+	f("server_bytes_out", s.ServerBytesOut)
+	f("server_scans", s.ServerScans)
+	f("server_scan_ns", s.ServerScanNs)
 	b.WriteByte(',')
 	fmt.Fprintf(&b, "%q:", "bit_width_hist")
 	b.WriteByte('[')

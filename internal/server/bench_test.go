@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/goalp/alp/client"
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// benchColumn ingests one ~10-row-group column into a fresh server and
+// returns the HTTP client plus the equivalent in-process views, so the
+// served and local paths aggregate identical storage.
+func benchColumn(b *testing.B) (*client.Client, *engine.Relation, *format.Column) {
+	b.Helper()
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	values := dataset(10*102400, 42)
+	if _, err := cl.Ingest(context.Background(), "bench", values); err != nil {
+		b.Fatalf("ingest: %v", err)
+	}
+	b.SetBytes(int64(len(values) * 8))
+	return cl, engine.BuildALP(values), format.EncodeColumn(values)
+}
+
+// BenchmarkAggServed measures a filtered aggregate through the full
+// HTTP path: predicate parsing, pushdown scan, JSON response.
+func BenchmarkAggServed(b *testing.B) {
+	cl, _, _ := benchColumn(b)
+	pred := client.Between(80, 160)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Agg(ctx, "bench", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggInProcess is the same aggregate on the same values
+// without the network: the floor the served path is compared against.
+func BenchmarkAggInProcess(b *testing.B) {
+	_, rel, _ := benchColumn(b)
+	pred := engine.Between(80, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel.FilterAgg(1, pred)
+	}
+}
+
+// BenchmarkScanServed streams qualifying rows back over HTTP as raw
+// little-endian float64s.
+func BenchmarkScanServed(b *testing.B) {
+	cl, _, _ := benchColumn(b)
+	pred := client.Between(80, 160)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Scan(ctx, "bench", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanInProcess gathers the same qualifying rows with the
+// same zone-skip + FilterGatherVector loop handleScan runs, minus the
+// serialization and the network.
+func BenchmarkScanInProcess(b *testing.B) {
+	_, _, col := benchColumn(b)
+	lo, hi := 80.0, 160.0
+	var sel [format.SelWords]uint64
+	out := make([]float64, vector.Size)
+	scratch := make([]int64, vector.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for v := 0; v < col.NumVectors(); v++ {
+			if col.Zones != nil && !col.Zones.MayContain(v, lo, hi) {
+				continue
+			}
+			n, _ := col.FilterGatherVector(v, lo, hi, sel[:], out, scratch)
+			total += n
+		}
+		_ = total
+	}
+}

@@ -1,0 +1,90 @@
+// The column registry: named, immutable compressed columns shared by
+// every request. A stored column is never mutated — replacing a name
+// swaps the pointer under the write lock, so scans that grabbed the
+// old pointer keep reading a consistent column to completion while new
+// requests see the replacement. Reads take the RLock only long enough
+// to copy the pointer.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/format"
+)
+
+// storedColumn bundles the three read-side views of one ingested
+// column: the marshaled stream (served verbatim), the parsed column
+// (vector addressing, zone maps, per-vector envelopes) and the engine
+// relation (morsel-parallel pushdown operators). All three share the
+// same underlying compressed storage and are immutable after Put.
+type storedColumn struct {
+	name string
+	data []byte
+	col  *format.Column
+	rel  *engine.Relation
+}
+
+// Registry is the concurrent name -> column map.
+type Registry struct {
+	mu   sync.RWMutex
+	cols map[string]*storedColumn
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cols: make(map[string]*storedColumn)}
+}
+
+// Put parses a marshaled column stream and binds it to name, replacing
+// any existing column atomically. The stream is validated before the
+// swap, so a failed Put leaves the previous binding untouched.
+func (r *Registry) Put(name string, data []byte) (*storedColumn, error) {
+	col, err := format.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("column %q: %w", name, err)
+	}
+	sc := &storedColumn{
+		name: name,
+		data: data,
+		col:  col,
+		rel:  engine.BuildALPFromColumn(name, col),
+	}
+	r.mu.Lock()
+	r.cols[name] = sc
+	r.mu.Unlock()
+	return sc, nil
+}
+
+// Get returns the column bound to name.
+func (r *Registry) Get(name string) (*storedColumn, bool) {
+	r.mu.RLock()
+	sc, ok := r.cols[name]
+	r.mu.RUnlock()
+	return sc, ok
+}
+
+// Delete removes the binding for name, reporting whether it existed.
+// In-flight requests holding the column keep using it; the storage is
+// reclaimed when the last of them finishes.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	_, ok := r.cols[name]
+	delete(r.cols, name)
+	r.mu.Unlock()
+	return ok
+}
+
+// Names returns the registered column names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.cols))
+	for name := range r.cols {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,632 @@
+// Package server implements alpserved's HTTP API: a compressed-column
+// service that keeps every column in its ALP-encoded form and answers
+// predicate queries server-side with the engine's encoded-domain
+// pushdown operators, or ships raw encoded vectors to thin clients
+// that decode locally (the Lemire & Boytsov discipline of staying in
+// the packed domain end-to-end).
+//
+// API (all JSON errors are {"error": "..."}):
+//
+//	POST   /v1/columns/{name}            ingest little-endian float64s (streamed into the parallel Writer)
+//	GET    /v1/columns                   list column names
+//	GET    /v1/columns/{name}            column info (values, bits/value, schemes, exceptions)
+//	DELETE /v1/columns/{name}            drop a column
+//	GET    /v1/columns/{name}/agg        filtered SUM/COUNT/MIN/MAX via engine.FilterAgg
+//	GET    /v1/columns/{name}/count      filtered COUNT via engine.FilterCount
+//	GET    /v1/columns/{name}/scan       stream qualifying rows (little-endian float64s)
+//	GET    /v1/columns/{name}/data       the full compressed column stream
+//	GET    /v1/columns/{name}/vectors/{i} one encoded vector as a standalone envelope
+//	GET    /metrics                      codec + service counters (JSON, same shape as alpbench -metrics)
+//	GET    /healthz                      200 while serving, 503 while draining
+//
+// Predicates come from query parameters — lo, hi, ge, gt, le, lt, eq —
+// each parsed with strconv.ParseFloat and reduced to a closed interval
+// exactly like the in-process engine constructors, then intersected.
+// threads selects scan parallelism (default 1, which is bit-identical
+// to an in-process single-threaded FilterAgg on the same values).
+//
+// Robustness: a semaphore admission limiter sheds load with 429 +
+// Retry-After instead of queueing unboundedly; every request runs
+// under a deadline; ingest bodies are size-capped; Shutdown drains
+// in-flight requests while refusing new ones with 503.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/goalp/alp"
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/obs"
+	"github.com/goalp/alp/internal/vector"
+)
+
+// Options configures a Server. The zero value gets sane defaults.
+type Options struct {
+	// MaxConcurrent caps requests in flight; excess load is shed with
+	// 429 + Retry-After. 0 means 4 x GOMAXPROCS.
+	MaxConcurrent int
+	// RequestTimeout bounds each request end-to-end. 0 means 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps an ingest request body. 0 means 1 GiB.
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with shed load. 0 means 1s.
+	RetryAfter time.Duration
+	// IngestWorkers is the Writer encode-pool size (0 = one per CPU).
+	IngestWorkers int
+	// DefaultThreads is the scan parallelism when a request does not
+	// pass ?threads=. 0 means 1 — the bit-identical-to-serial setting.
+	DefaultThreads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 30
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.DefaultThreads <= 0 {
+		o.DefaultThreads = 1
+	}
+	return o
+}
+
+// maxThreads caps per-request scan parallelism so a client cannot ask
+// one request to fan out unboundedly.
+const maxThreads = 64
+
+// Server is the HTTP column service. Create with New, mount Handler,
+// and call Shutdown to drain.
+type Server struct {
+	opts Options
+	reg  *Registry
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	gate drainGate
+
+	// testHook, when non-nil, runs inside scan/agg handlers after
+	// admission — tests use it to hold a request in flight.
+	testHook func()
+}
+
+// New returns a Server ready to mount.
+func New(opts Options) *Server {
+	s := &Server{
+		opts: opts.withDefaults(),
+		reg:  NewRegistry(),
+	}
+	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/columns/{name}", s.wrap(s.handleIngest))
+	s.mux.HandleFunc("GET /v1/columns", s.wrap(s.handleList))
+	s.mux.HandleFunc("GET /v1/columns/{name}", s.wrap(s.handleInfo))
+	s.mux.HandleFunc("DELETE /v1/columns/{name}", s.wrap(s.handleDelete))
+	s.mux.HandleFunc("GET /v1/columns/{name}/agg", s.wrap(s.handleAgg))
+	s.mux.HandleFunc("GET /v1/columns/{name}/count", s.wrap(s.handleCount))
+	s.mux.HandleFunc("GET /v1/columns/{name}/scan", s.wrap(s.handleScan))
+	s.mux.HandleFunc("GET /v1/columns/{name}/data", s.wrap(s.handleData))
+	s.mux.HandleFunc("GET /v1/columns/{name}/vectors/{i}", s.wrap(s.handleVector))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // never shed: always observable
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the column registry (for embedding the server in a
+// process that also loads columns directly).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Shutdown drains the service: new requests are refused with 503
+// immediately, in-flight requests run to completion (or until ctx
+// expires). It does not close listeners — pair it with
+// http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.gate.drain(ctx)
+}
+
+// drainGate tracks in-flight requests and refuses new ones once
+// draining. A plain mutex-guarded counter (not a WaitGroup) so that
+// enter-vs-drain races are well-defined: a request either enters
+// before the drain and is waited for, or is refused.
+type drainGate struct {
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	done     chan struct{}
+}
+
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.draining && g.inflight == 0 && g.done != nil {
+		close(g.done)
+		g.done = nil
+	}
+	g.mu.Unlock()
+}
+
+func (g *drainGate) drain(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	if g.inflight == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	if g.done == nil {
+		g.done = make(chan struct{})
+	}
+	done := g.done
+	g.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *drainGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// wrap applies the admission pipeline to a handler: drain gate (503),
+// concurrency limiter (429 + Retry-After), request deadline, and
+// response byte accounting.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		o := obs.Active()
+		if !s.gate.enter() {
+			o.ServerRefused()
+			w.Header().Set("Connection", "close")
+			httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		defer s.gate.exit()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			// Saturated: shed instead of queueing, so latency stays
+			// bounded and the client's retry policy paces the load.
+			o.ServerShed()
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+			httpError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		o.ServerRequest()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		cw := &countingWriter{ResponseWriter: w}
+		h(cw, r.WithContext(ctx))
+		o.ServerBytesOut(cw.n)
+	}
+}
+
+// countingWriter counts response payload bytes for the bytes-out metric.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// getColumn resolves {name} to a stored column or writes a 404.
+func (s *Server) getColumn(w http.ResponseWriter, r *http.Request) (*storedColumn, bool) {
+	name := r.PathValue("name")
+	sc, ok := s.reg.Get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no column %q", name))
+		return nil, false
+	}
+	return sc, true
+}
+
+// ---- predicate parsing ----
+
+// parsePredicate builds an engine predicate from query parameters by
+// intersecting every bound present: lo/ge (v >= x), gt (v > x), hi/le
+// (v <= x), lt (v < x), eq (v == x). No parameters means match-all
+// (NaNs never match a range predicate; use /data for an exact export).
+// The reductions are the engine's own constructors, so a server-side
+// predicate is the same closed interval the in-process operators see.
+func parsePredicate(q url.Values) (engine.Predicate, error) {
+	p := engine.Between(math.Inf(-1), math.Inf(1))
+	apply := func(key string, build func(x float64) engine.Predicate) error {
+		vals, ok := q[key]
+		if !ok {
+			return nil
+		}
+		if len(vals) != 1 {
+			return fmt.Errorf("parameter %q given %d times", key, len(vals))
+		}
+		x, err := strconv.ParseFloat(vals[0], 64)
+		if err != nil {
+			return fmt.Errorf("parameter %q: %v", key, err)
+		}
+		c := build(x)
+		// Intersection of closed intervals: max lower bound, min upper
+		// bound. A NaN bound (e.g. ge=NaN) propagates so the predicate
+		// matches nothing, same as the in-process constructors.
+		if c.Lo > p.Lo || math.IsNaN(c.Lo) {
+			p.Lo = c.Lo
+		}
+		if c.Hi < p.Hi || math.IsNaN(c.Hi) {
+			p.Hi = c.Hi
+		}
+		return nil
+	}
+	for _, b := range []struct {
+		key   string
+		build func(float64) engine.Predicate
+	}{
+		{"lo", engine.GE},
+		{"ge", engine.GE},
+		{"gt", engine.GT},
+		{"hi", engine.LE},
+		{"le", engine.LE},
+		{"lt", engine.LT},
+		{"eq", engine.EQ},
+	} {
+		if err := apply(b.key, b.build); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// parseThreads resolves the ?threads= parameter.
+func (s *Server) parseThreads(q url.Values) (int, error) {
+	v := q.Get("threads")
+	if v == "" {
+		return s.opts.DefaultThreads, nil
+	}
+	t, err := strconv.Atoi(v)
+	if err != nil || t < 1 || t > maxThreads {
+		return 0, fmt.Errorf("threads must be an integer in [1, %d]", maxThreads)
+	}
+	return t, nil
+}
+
+// ---- handlers ----
+
+// columnInfo is the JSON shape of GET /v1/columns/{name} and the
+// ingest response. Float fields ride as strings formatted with
+// strconv 'g'/-1, which round-trips every finite float64 exactly.
+type columnInfo struct {
+	Name            string  `json:"name"`
+	Values          int     `json:"values"`
+	NumVectors      int     `json:"num_vectors"`
+	NumRowGroups    int     `json:"num_row_groups"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	BitsPerValue    float64 `json:"bits_per_value"`
+	Exceptions      int     `json:"exceptions"`
+	UsedRD          bool    `json:"used_rd"`
+}
+
+func infoFor(sc *storedColumn) columnInfo {
+	return columnInfo{
+		Name:            sc.name,
+		Values:          sc.col.N,
+		NumVectors:      sc.col.NumVectors(),
+		NumRowGroups:    len(sc.col.RowGroups),
+		CompressedBytes: len(sc.data),
+		BitsPerValue:    sc.col.BitsPerValue(),
+		Exceptions:      sc.col.Exceptions(),
+		UsedRD:          sc.col.UsedRD(),
+	}
+}
+
+// handleIngest streams the request body — little-endian float64s —
+// into a parallel Writer: full row-groups are encoded by the bounded
+// pool while the body is still arriving, so ingest memory stays
+// bounded at workers+1 raw row-groups regardless of column size.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validateName(name); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	o := obs.Active()
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	wr := alp.NewWriterParallel(alp.WriterOptions{Workers: s.opts.IngestWorkers})
+	buf := make([]byte, 256<<10)
+	vals := make([]float64, len(buf)/8)
+	rem := 0 // bytes carried over to keep 8-byte alignment
+	var total int64
+	for {
+		if err := r.Context().Err(); err != nil {
+			httpError(w, http.StatusRequestTimeout, "ingest deadline exceeded")
+			return
+		}
+		n, err := body.Read(buf[rem:])
+		total += int64(n)
+		n += rem
+		nv := n / 8
+		for i := 0; i < nv; i++ {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		wr.Write(vals[:nv])
+		rem = n - nv*8
+		copy(buf, buf[nv*8:n])
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d-byte cap", s.opts.MaxBodyBytes))
+				return
+			}
+			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+	}
+	if rem != 0 {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("body length not a multiple of 8 (%d trailing bytes)", rem))
+		return
+	}
+	o.ServerBytesIn(total)
+	data := wr.Close()
+	sc, err := s.reg.Put(name, data)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(sc))
+}
+
+func validateName(name string) error {
+	if name == "" || len(name) > 128 {
+		return errors.New("column name must be 1..128 bytes")
+	}
+	if strings.ContainsAny(name, "/\\ \t\n") {
+		return errors.New("column name must not contain slashes or whitespace")
+	}
+	return nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"columns": s.reg.Names()})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.getColumn(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFor(sc))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Delete(name) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no column %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// aggResponse carries FilterAgg results. Sum, Min and Max are strings
+// (strconv 'g'/-1) so ±Inf survive JSON and finite values round-trip
+// bit-exactly.
+type aggResponse struct {
+	Sum     string `json:"sum"`
+	Count   int64  `json:"count"`
+	Min     string `json:"min"`
+	Max     string `json:"max"`
+	Touched int    `json:"touched"`
+	Threads int    `json:"threads"`
+}
+
+func fmtFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.getColumn(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	pred, err := parsePredicate(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	threads, err := s.parseThreads(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.testHook != nil {
+		s.testHook()
+	}
+	start := time.Now()
+	agg, touched := sc.rel.FilterAgg(threads, pred)
+	obs.Active().ServerScan(time.Since(start).Nanoseconds())
+	writeJSON(w, http.StatusOK, aggResponse{
+		Sum:     fmtFloat(agg.Sum),
+		Count:   agg.Count,
+		Min:     fmtFloat(agg.Min),
+		Max:     fmtFloat(agg.Max),
+		Touched: touched,
+		Threads: threads,
+	})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.getColumn(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	pred, err := parsePredicate(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	threads, err := s.parseThreads(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	count := sc.rel.FilterCount(threads, pred)
+	obs.Active().ServerScan(time.Since(start).Nanoseconds())
+	writeJSON(w, http.StatusOK, map[string]any{"count": count, "threads": threads})
+}
+
+// handleScan streams the rows matching the predicate as little-endian
+// float64s, in position order, evaluating the predicate with zone-map
+// skipping plus the encoded-domain kernel vector-at-a-time. The
+// response is produced incrementally — a scan of a huge column never
+// materializes more than one vector.
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.getColumn(w, r)
+	if !ok {
+		return
+	}
+	pred, err := parsePredicate(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.testHook != nil {
+		s.testHook()
+	}
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-alp-f64le")
+	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
+	var sel [format.SelWords]uint64
+	out := make([]float64, vector.Size)
+	scratch := make([]int64, vector.Size)
+	raw := make([]byte, vector.Size*8)
+	col := sc.col
+	skipped := 0
+	o := obs.Active()
+	for i := 0; i < col.NumVectors(); i++ {
+		if r.Context().Err() != nil {
+			return // deadline or client gone: the stream just ends
+		}
+		if col.Zones != nil && !col.Zones.MayContain(i, pred.Lo, pred.Hi) {
+			skipped++
+			continue
+		}
+		n, _ := col.FilterGatherVector(i, pred.Lo, pred.Hi, sel[:], out, scratch)
+		if n == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(out[j]))
+		}
+		if _, err := w.Write(raw[:n*8]); err != nil {
+			return
+		}
+	}
+	o.VectorsSkipped(skipped)
+	o.ServerScan(time.Since(start).Nanoseconds())
+}
+
+// handleData serves the column's full compressed stream verbatim: the
+// cheapest possible export, straight from the registry's bytes.
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.getColumn(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-alp-column")
+	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
+	w.Write(sc.data)
+}
+
+// handleVector ships one encoded vector as a standalone envelope; the
+// server never decodes it.
+func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.getColumn(w, r)
+	if !ok {
+		return
+	}
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil || i < 0 || i >= sc.col.NumVectors() {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("vector index out of range [0, %d)", sc.col.NumVectors()))
+		return
+	}
+	env, err := sc.col.MarshalVector(i)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-alp-vector")
+	w.Header().Set("X-Alp-Vector-Values", strconv.Itoa(sc.col.VectorLen(i)))
+	w.Write(env)
+}
+
+// handleMetrics serves the codec + service counter snapshot as JSON —
+// the same shape alpbench -metrics exposes, including the server_*
+// counters this package reports. Not gated: a draining or saturated
+// server must stay observable.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, obs.Active().Snapshot().String())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.gate.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}

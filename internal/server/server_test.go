@@ -1,0 +1,558 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goalp/alp"
+	"github.com/goalp/alp/client"
+	"github.com/goalp/alp/internal/engine"
+)
+
+// dataset synthesizes a decimal-heavy column spanning several
+// row-groups, with runs that make zone-map skipping meaningful.
+func dataset(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	level := 100.0
+	for i := range out {
+		if i%1024 == 0 {
+			level = float64(rng.Intn(200))
+		}
+		out[i] = math.Round((level+rng.Float64()*10)*100) / 100
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *client.Client) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, client.New(ts.URL)
+}
+
+// TestEndToEndAggBitIdentical is the headline integration test: a
+// client ingests a dataset over HTTP, runs a pushdown FilterAgg via
+// /agg, and the result is bit-identical to the same predicate
+// evaluated in-process on the same values.
+func TestEndToEndAggBitIdentical(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(2*102400+7777, 1) // 3 row-groups, ragged tail
+
+	info, err := cl.Ingest(ctx, "prices", values)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if info.Values != len(values) {
+		t.Fatalf("ingest reported %d values, want %d", info.Values, len(values))
+	}
+	if info.BitsPerValue >= 64 {
+		t.Errorf("served column did not compress: %.2f bits/value", info.BitsPerValue)
+	}
+
+	cases := []struct {
+		name   string
+		remote client.Predicate
+		local  engine.Predicate
+	}{
+		{"between", client.Between(120, 180), engine.Between(120, 180)},
+		{"ge", client.GE(150.55), engine.GE(150.55)},
+		{"lt", client.LT(42.01), engine.LT(42.01)},
+		{"gt", client.GT(199.99), engine.GT(199.99)},
+		{"eq", client.EQ(values[12345]), engine.EQ(values[12345])},
+		{"all", client.All(), engine.Between(math.Inf(-1), math.Inf(1))},
+		{"empty", client.Between(5000, 6000), engine.Between(5000, 6000)},
+		{"and", client.GE(100).And(client.LE(150)), engine.Between(100, 150)},
+	}
+	rel := engine.BuildALP(values)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := cl.Agg(context.Background(), "prices", tc.remote)
+			if err != nil {
+				t.Fatalf("remote agg: %v", err)
+			}
+			want, wantTouched := rel.FilterAgg(1, tc.local)
+			if got.Count != want.Count {
+				t.Fatalf("count = %d, want %d", got.Count, want.Count)
+			}
+			if math.Float64bits(got.Sum) != math.Float64bits(want.Sum) {
+				t.Errorf("sum = %x (%v), want %x (%v)",
+					math.Float64bits(got.Sum), got.Sum, math.Float64bits(want.Sum), want.Sum)
+			}
+			if math.Float64bits(got.Min) != math.Float64bits(want.Min) {
+				t.Errorf("min = %v, want %v", got.Min, want.Min)
+			}
+			if math.Float64bits(got.Max) != math.Float64bits(want.Max) {
+				t.Errorf("max = %v, want %v", got.Max, want.Max)
+			}
+			if got.Touched != wantTouched {
+				t.Errorf("touched = %d, want %d", got.Touched, wantTouched)
+			}
+
+			// Count endpoint agrees.
+			n, err := cl.Count(context.Background(), "prices", tc.remote)
+			if err != nil {
+				t.Fatalf("remote count: %v", err)
+			}
+			if n != want.Count {
+				t.Errorf("count endpoint = %d, want %d", n, want.Count)
+			}
+		})
+	}
+}
+
+func TestScanStreamsQualifyingRows(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(102400+512, 2)
+	if _, err := cl.Ingest(ctx, "scan", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	lo, hi := 80.0, 120.0
+	got, err := cl.Scan(ctx, "scan", client.Between(lo, hi))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	var want []float64
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			want = append(want, v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestThinClientPaths(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(4096, 3)
+	// Mix in values that force exceptions and cover edge encodings.
+	values[0] = math.Inf(1)
+	values[1] = math.Copysign(0, -1)
+	values[2] = math.NaN()
+	if _, err := cl.Ingest(ctx, "thin", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	// Full column, decoded locally from the compressed stream.
+	back, err := cl.Values(ctx, "thin")
+	if err != nil {
+		t.Fatalf("values: %v", err)
+	}
+	if len(back) != len(values) {
+		t.Fatalf("values returned %d, want %d", len(back), len(values))
+	}
+	for i := range values {
+		if math.Float64bits(back[i]) != math.Float64bits(values[i]) {
+			t.Fatalf("value %d = %v, want %v", i, back[i], values[i])
+		}
+	}
+
+	// One vector, shipped encoded and decoded locally.
+	vec, err := cl.Vector(ctx, "thin", 2)
+	if err != nil {
+		t.Fatalf("vector: %v", err)
+	}
+	wantVec := values[2*alp.VectorSize : 3*alp.VectorSize]
+	if len(vec) != len(wantVec) {
+		t.Fatalf("vector holds %d values, want %d", len(vec), len(wantVec))
+	}
+	for i := range wantVec {
+		if math.Float64bits(vec[i]) != math.Float64bits(wantVec[i]) {
+			t.Fatalf("vector value %d = %v, want %v", i, vec[i], wantVec[i])
+		}
+	}
+
+	if _, err := cl.Vector(ctx, "thin", 99); err == nil {
+		t.Error("out-of-range vector index did not error")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	if _, err := cl.Ingest(ctx, "a", dataset(1000, 4)); err != nil {
+		t.Fatalf("ingest a: %v", err)
+	}
+	if _, err := cl.Ingest(ctx, "b", dataset(1000, 5)); err != nil {
+		t.Fatalf("ingest b: %v", err)
+	}
+	names, err := cl.List(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("list = %v, want [a b]", names)
+	}
+
+	// Replace is an atomic swap: new data visible afterwards.
+	repl := dataset(2000, 6)
+	if _, err := cl.Ingest(ctx, "a", repl); err != nil {
+		t.Fatalf("replace a: %v", err)
+	}
+	info, err := cl.Info(ctx, "a")
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.Values != 2000 {
+		t.Fatalf("replaced column has %d values, want 2000", info.Values)
+	}
+
+	if err := cl.Delete(ctx, "b"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := cl.Delete(ctx, "b"); err == nil {
+		t.Error("double delete did not error")
+	}
+	var apiErr *client.APIError
+	if _, err := cl.Info(ctx, "b"); err == nil {
+		t.Error("info on deleted column did not error")
+	} else if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("info on deleted column: %v, want 404", err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, cl := newTestServer(t, Options{MaxBodyBytes: 4096})
+	ctx := context.Background()
+	if _, err := cl.Ingest(ctx, "col", dataset(128, 7)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	noRetry := client.New(ts.URL, client.WithRetries(0))
+
+	// Bad predicate parameter.
+	resp, err := http.Get(ts.URL + "/v1/columns/col/agg?ge=not-a-float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad predicate: status %d, want 400", resp.StatusCode)
+	}
+
+	// Duplicate predicate parameter.
+	resp, err = http.Get(ts.URL + "/v1/columns/col/agg?ge=1&ge=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate predicate: status %d, want 400", resp.StatusCode)
+	}
+
+	// Bad threads.
+	resp, err = http.Get(ts.URL + "/v1/columns/col/agg?threads=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad threads: status %d, want 400", resp.StatusCode)
+	}
+
+	// Misaligned ingest body.
+	resp, err = http.Post(ts.URL+"/v1/columns/misaligned", "application/x-alp-f64le",
+		strings.NewReader("12345"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("misaligned body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Oversized ingest body (cap is 4096 bytes = 512 values).
+	if _, err := noRetry.Ingest(ctx, "big", make([]float64, 1024)); err == nil {
+		t.Error("oversized ingest did not error")
+	} else if !errors.As(err, new(*client.APIError)) {
+		t.Errorf("oversized ingest: %v, want APIError", err)
+	}
+
+	// Bad column name.
+	resp, err = http.Post(ts.URL+"/v1/columns/bad%2Fname", "application/x-alp-f64le",
+		bytes.NewReader(make([]byte, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad name: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown column.
+	resp, err = http.Get(ts.URL + "/v1/columns/nope/agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown column: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLoadShedding proves the limiter returns 429 (not queue collapse)
+// past the concurrency cap: with MaxConcurrent=2 and both slots held,
+// a further request is shed immediately with Retry-After.
+func TestLoadShedding(t *testing.T) {
+	srv := New(Options{MaxConcurrent: 2, RetryAfter: 3 * time.Second})
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	srv.testHook = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	if _, err := cl.Ingest(ctx, "col", dataset(2048, 8)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	// Occupy both slots with hung scans.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/columns/col/agg")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-entered
+	<-entered
+
+	// The third request must be shed, not queued.
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/columns/col/agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("shed response took %v; limiter queued instead of shedding", elapsed)
+	}
+
+	// Release the held scans; capacity returns.
+	close(hold)
+	wg.Wait()
+	if _, err := cl.Agg(ctx, "col", client.All()); err != nil {
+		t.Fatalf("agg after release: %v", err)
+	}
+}
+
+// TestClientRetriesShedLoad proves the client rides through shed load:
+// the server 429s the first two attempts, then succeeds.
+func TestClientRetriesShedLoad(t *testing.T) {
+	srv := New(Options{})
+	var mu sync.Mutex
+	fails := 2
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		shed := fails > 0
+		if shed {
+			fails--
+		}
+		mu.Unlock()
+		if shed && strings.HasSuffix(r.URL.Path, "/agg") {
+			w.Header().Set("Retry-After", "0")
+			httpError(w, http.StatusTooManyRequests, "synthetic shed")
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL, client.WithBackoff(time.Millisecond, 10*time.Millisecond))
+	if _, err := cl.Ingest(ctx, "col", dataset(512, 9)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if _, err := cl.Agg(ctx, "col", client.All()); err != nil {
+		t.Fatalf("agg did not survive shed load: %v", err)
+	}
+
+	// With retries disabled the same shedding is a hard error.
+	mu.Lock()
+	fails = 2
+	mu.Unlock()
+	noRetry := client.New(ts.URL, client.WithRetries(0))
+	if _, err := noRetry.Agg(ctx, "col", client.All()); err == nil {
+		t.Error("agg with retries disabled did not error under shed load")
+	}
+}
+
+// TestGracefulShutdown proves in-flight scans complete while new
+// requests are refused during a drain.
+func TestGracefulShutdown(t *testing.T) {
+	srv := New(Options{})
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.testHook = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	values := dataset(4096, 10)
+	if _, err := cl.Ingest(ctx, "col", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	// Start a scan that parks inside the handler.
+	type aggOut struct {
+		agg client.Agg
+		err error
+	}
+	inflight := make(chan aggOut, 1)
+	noRetry := client.New(ts.URL, client.WithRetries(0))
+	go func() {
+		a, err := noRetry.Agg(ctx, "col", client.All())
+		inflight <- aggOut{a, err}
+	}()
+	<-entered
+
+	// Drain in the background; it must block on the in-flight scan.
+	drainDone := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- srv.Shutdown(dctx)
+	}()
+
+	// Wait for the drain to take effect before probing, so no probe is
+	// admitted and parked on the test hook.
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.gate.isDraining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Shutdown never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// New requests are refused with 503 while the drain waits.
+	resp, err := http.Get(ts.URL + "/v1/columns/col/agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server admitted a request (status %d), want 503", resp.StatusCode)
+	}
+	if ok, err := cl.Health(ctx); err != nil || ok {
+		t.Errorf("health during drain = (%v, %v), want (false, nil)", ok, err)
+	}
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Shutdown returned %v with a scan still in flight", err)
+	default:
+	}
+
+	// Release the parked scan: it completes with a full result, and
+	// only then does Shutdown return.
+	close(hold)
+	out := <-inflight
+	if out.err != nil {
+		t.Fatalf("in-flight scan failed during drain: %v", out.err)
+	}
+	if out.agg.Count != int64(countNonNaN(values)) {
+		t.Errorf("in-flight scan count = %d, want %d", out.agg.Count, countNonNaN(values))
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func countNonNaN(values []float64) int {
+	n := 0
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMetricsEndpoint checks the service counters flow through
+// /metrics when stats collection is on.
+func TestMetricsEndpoint(t *testing.T) {
+	alp.EnableStats()
+	defer alp.DisableStats()
+	alp.ResetStats()
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	if _, err := cl.Ingest(ctx, "m", dataset(2048, 11)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if _, err := cl.Agg(ctx, "m", client.GE(50)); err != nil {
+		t.Fatalf("agg: %v", err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["server_requests"] < 2 {
+		t.Errorf("server_requests = %d, want >= 2", m["server_requests"])
+	}
+	if m["server_bytes_in"] != 2048*8 {
+		t.Errorf("server_bytes_in = %d, want %d", m["server_bytes_in"], 2048*8)
+	}
+	if m["server_scans"] < 1 {
+		t.Errorf("server_scans = %d, want >= 1", m["server_scans"])
+	}
+	if m["server_bytes_out"] == 0 {
+		t.Error("server_bytes_out = 0, want > 0")
+	}
+	s := alp.ReadStats()
+	if s.ServerRequests != m["server_requests"] {
+		t.Errorf("alp.ReadStats().ServerRequests = %d, /metrics says %d", s.ServerRequests, m["server_requests"])
+	}
+}
+
+// TestIngestMatchesLocalEncode proves the served bytes are the same
+// stream a local Encode produces — the wire adds nothing.
+func TestIngestMatchesLocalEncode(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(102400+999, 12)
+	if _, err := cl.Ingest(ctx, "ident", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	data, err := cl.Compressed(ctx, "ident")
+	if err != nil {
+		t.Fatalf("compressed: %v", err)
+	}
+	if want := alp.Encode(values); !bytes.Equal(data, want) {
+		t.Fatalf("served stream differs from local Encode (%d vs %d bytes)", len(data), len(want))
+	}
+}

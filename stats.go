@@ -55,6 +55,15 @@ type Stats struct {
 	PipelineWorkers int64 // pipeline worker goroutines spawned
 	PipelineClaims  int64 // row-groups claimed by pipeline workers
 	PipelineStalls  int64 // submissions that blocked on a full window
+
+	// Column service (alpserved / internal/server).
+	ServerRequests int64 // HTTP requests admitted by the service
+	ServerSheds    int64 // requests shed with 429 by the concurrency limiter
+	ServerRefused  int64 // requests refused with 503 while draining
+	ServerBytesIn  int64 // request payload bytes read (ingest)
+	ServerBytesOut int64 // response payload bytes written
+	ServerScans    int64 // scan/agg/count requests served
+	ServerScanNs   int64 // wall ns spent in scan/agg/count handlers
 }
 
 // EnableStats turns on global metrics collection. Instrumented hot
@@ -105,6 +114,13 @@ func statsFromSnapshot(s obs.Snapshot) Stats {
 		PipelineWorkers:       s.PipelineWorkers,
 		PipelineClaims:        s.PipelineClaims,
 		PipelineStalls:        s.PipelineStalls,
+		ServerRequests:        s.ServerRequests,
+		ServerSheds:           s.ServerSheds,
+		ServerRefused:         s.ServerRefused,
+		ServerBytesIn:         s.ServerBytesIn,
+		ServerBytesOut:        s.ServerBytesOut,
+		ServerScans:           s.ServerScans,
+		ServerScanNs:          s.ServerScanNs,
 	}
 }
 
@@ -178,7 +194,23 @@ func statsToSnapshot(s Stats) obs.Snapshot {
 		PipelineWorkers:       s.PipelineWorkers,
 		PipelineClaims:        s.PipelineClaims,
 		PipelineStalls:        s.PipelineStalls,
+		ServerRequests:        s.ServerRequests,
+		ServerSheds:           s.ServerSheds,
+		ServerRefused:         s.ServerRefused,
+		ServerBytesIn:         s.ServerBytesIn,
+		ServerBytesOut:        s.ServerBytesOut,
+		ServerScans:           s.ServerScans,
+		ServerScanNs:          s.ServerScanNs,
 	}
+}
+
+// ServerScanNsPerRequest returns the average wall time of a served
+// scan/agg/count request in ns.
+func (s Stats) ServerScanNsPerRequest() float64 {
+	if s.ServerScans == 0 {
+		return 0
+	}
+	return float64(s.ServerScanNs) / float64(s.ServerScans)
 }
 
 // ---- per-column static introspection ----

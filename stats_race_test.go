@@ -1,0 +1,70 @@
+package alp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentReadResetEncode hammers ReadStats and ResetStats
+// while encodes and decodes are updating the counters from other
+// goroutines — the shape of a serving workload where /metrics is
+// scraped (and occasionally reset) under load. Run under -race this
+// guards the lock-free obs.Collector against regressions; the
+// assertions only check the snapshot stays internally consistent.
+func TestStatsConcurrentReadResetEncode(t *testing.T) {
+	EnableStats()
+	defer ResetStats()
+
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 4*VectorSize)
+	for i := range values {
+		values[i] = math.Round(rng.Float64()*10000) / 100
+	}
+	data := Encode(values)
+
+	const (
+		encoders = 4
+		readers  = 4
+		rounds   = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < encoders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				Encode(values)
+				if _, err := Decode(data); err != nil {
+					t.Errorf("decode: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s := ReadStats()
+				if s.VectorsEncoded < 0 || s.EncodeValues < 0 {
+					t.Errorf("negative counters in snapshot: %+v", s)
+					return
+				}
+				if g == 0 && i%50 == 25 {
+					ResetStats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the dust settles the counters still move normally.
+	ResetStats()
+	Encode(values)
+	if s := ReadStats(); s.EncodeValues != int64(len(values)) {
+		t.Fatalf("EncodeValues after reset = %d, want %d", s.EncodeValues, len(values))
+	}
+}

@@ -54,14 +54,24 @@ func NewWriter() *Writer { return &Writer{} }
 type WriterOptions struct {
 	// Workers is the number of row-group encode workers: 0 or negative
 	// means one per CPU, 1 selects the serial path (same as NewWriter).
+	// Values beyond maxWriterWorkers are clamped — each worker holds a
+	// raw row-group copy, so unbounded counts would turn a config typo
+	// into a memory blow-up.
 	Workers int
 }
+
+// maxWriterWorkers bounds the encode pool. One worker pins ~800 KB of
+// raw row-group, so the cap also caps in-flight memory.
+const maxWriterWorkers = 1024
 
 // NewWriterParallel returns a Writer whose row-groups are encoded by a
 // bounded worker pool. The serialized output is byte-identical to the
 // serial Writer's; only throughput and (bounded) memory use differ.
 func NewWriterParallel(opt WriterOptions) *Writer {
 	workers := pipeline.Workers(opt.Workers)
+	if workers > maxWriterWorkers {
+		workers = maxWriterWorkers
+	}
 	if workers <= 1 {
 		return NewWriter()
 	}

@@ -1,0 +1,98 @@
+package alp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWriterWorkersClamping pins the WriterOptions.Workers contract:
+// zero and negative counts fall back to one worker per CPU, absurd
+// counts are capped, and every setting produces output byte-identical
+// to the serial Writer.
+func TestWriterWorkersClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	values := make([]float64, 3*RowGroupSize+1234)
+	for i := range values {
+		values[i] = math.Round(rng.Float64()*100000) / 1000
+	}
+
+	serial := NewWriter()
+	serial.Write(values)
+	want := serial.Close()
+
+	for _, workers := range []int{0, -1, -100, 1, 2, 7, maxWriterWorkers + 5, 1 << 30} {
+		w := NewWriterParallel(WriterOptions{Workers: workers})
+		for lo := 0; lo < len(values); lo += 4096 {
+			hi := lo + 4096
+			if hi > len(values) {
+				hi = len(values)
+			}
+			w.Write(values[lo:hi])
+		}
+		if got := w.Close(); !bytes.Equal(got, want) {
+			t.Errorf("Workers=%d: output differs from serial Writer (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestReaderNextEdgeCases covers the vector-at-a-time reader's contract
+// at the boundaries: short destination buffers fail without consuming
+// the vector, and a drained reader keeps returning (0, nil).
+func TestReaderNextEdgeCases(t *testing.T) {
+	values := make([]float64, VectorSize+100) // two vectors, ragged tail
+	for i := range values {
+		values[i] = float64(i) / 4
+	}
+	r, err := NewReader(Encode(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Too-small dst (including zero-length) errors and must not advance
+	// the stream: the immediately following full-size read still returns
+	// the first vector.
+	for _, n := range []int{0, 1, VectorSize - 1} {
+		if _, err := r.Next(make([]float64, n)); err == nil {
+			t.Fatalf("Next with len(dst)=%d did not error", n)
+		}
+	}
+	dst := make([]float64, VectorSize)
+	n, err := r.Next(dst)
+	if err != nil || n != VectorSize {
+		t.Fatalf("Next after short-dst errors = (%d, %v), want (%d, nil)", n, err, VectorSize)
+	}
+	if math.Float64bits(dst[0]) != math.Float64bits(values[0]) {
+		t.Fatalf("short-dst error consumed the vector: dst[0] = %v, want %v", dst[0], values[0])
+	}
+
+	// The ragged tail fits in a dst sized for it (100 values), even
+	// though that dst is smaller than a full vector.
+	tail := make([]float64, 100)
+	n, err = r.Next(tail)
+	if err != nil || n != 100 {
+		t.Fatalf("tail read = (%d, %v), want (100, nil)", n, err)
+	}
+	if math.Float64bits(tail[99]) != math.Float64bits(values[len(values)-1]) {
+		t.Fatalf("tail value = %v, want %v", tail[99], values[len(values)-1])
+	}
+
+	// Exhausted: every further call returns (0, nil), even with a
+	// zero-length dst.
+	for i := 0; i < 3; i++ {
+		if n, err := r.Next(dst); n != 0 || err != nil {
+			t.Fatalf("Next after EOF (call %d) = (%d, %v), want (0, nil)", i, n, err)
+		}
+	}
+	if n, err := r.Next(nil); n != 0 || err != nil {
+		t.Fatalf("Next(nil) after EOF = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Reset rewinds to the first vector.
+	r.Reset()
+	if n, err := r.Next(dst); n != VectorSize || err != nil {
+		t.Fatalf("Next after Reset = (%d, %v), want (%d, nil)", n, err, VectorSize)
+	}
+}
