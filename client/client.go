@@ -145,7 +145,17 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 				break
 			}
 			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-				return payload, resp.Header, nil
+				// Trailers are populated once the body has been read to
+				// EOF; fold them into the returned headers so callers can
+				// verify stream-completion markers (see Scan).
+				hdr := resp.Header
+				if len(resp.Trailer) > 0 {
+					hdr = hdr.Clone()
+					for k, vs := range resp.Trailer {
+						hdr[k] = vs
+					}
+				}
+				return payload, hdr, nil
 			}
 			apiErr := &APIError{Status: resp.StatusCode, Message: errMessage(payload)}
 			if !retryable(resp.StatusCode) {
@@ -171,21 +181,32 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 // Retry-After when present (still jittered, so a fleet of shed clients
 // does not return in lockstep), else exponential backoff, both capped.
 func (c *Client) delay(attempt int, retryAfter string) time.Duration {
+	// Cap the exponent: past ~20 doublings any real backoff base is far
+	// beyond maxWait anyway, and an unclamped shift would overflow into
+	// a negative duration on high configured retry counts (50ms << 38
+	// wraps), which in turn would panic the jitter draw below.
+	if attempt > 20 {
+		attempt = 20
+	}
+	max := c.maxWait
+	if max < 0 { // misconfigured: treat as "don't sleep"
+		max = 0
+	}
 	d := c.backoff << uint(attempt)
 	if retryAfter != "" {
 		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
 			d = time.Duration(secs) * time.Second
 		}
 	}
-	if d > c.maxWait {
-		d = c.maxWait
+	if d < 0 || d > max {
+		d = max
 	}
 	c.rngMu.Lock()
 	jitter := time.Duration(c.rng.Int63n(int64(d/2 + 1)))
 	c.rngMu.Unlock()
 	d += jitter
-	if d > c.maxWait {
-		d = c.maxWait
+	if d > max {
+		d = max
 	}
 	return d
 }
@@ -358,13 +379,28 @@ func (c *Client) Count(ctx context.Context, name string, p Predicate) (int64, er
 }
 
 // Scan returns the rows matching p, in position order, filtered
-// server-side and streamed as raw float64s.
+// server-side and streamed as raw float64s. The server frames
+// completion with a trailing row count (written only when the scan ran
+// to the end) and aborts the connection if its deadline fires
+// mid-stream, so a truncated response surfaces as an error here —
+// never as a silently partial result.
 func (c *Client) Scan(ctx context.Context, name string, p Predicate) ([]float64, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/scan", p.query(), nil, "")
+	payload, hdr, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/scan", p.query(), nil, "")
 	if err != nil {
 		return nil, err
 	}
-	return decodeF64LE(payload)
+	out, err := decodeF64LE(payload)
+	if err != nil {
+		return nil, err
+	}
+	rows := hdr.Get("X-Alp-Scan-Rows")
+	if rows == "" {
+		return nil, errors.New("alpserved: scan response truncated (no completion trailer)")
+	}
+	if n, err := strconv.Atoi(rows); err != nil || n != len(out) {
+		return nil, fmt.Errorf("alpserved: scan returned %d rows, server sent %s", len(out), rows)
+	}
+	return out, nil
 }
 
 // Compressed fetches the column's full ALP stream — the bytes the

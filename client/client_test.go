@@ -1,0 +1,38 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayNeverNegative pins the backoff arithmetic at the edges: high
+// attempt counts used to overflow the shift into a negative duration,
+// which then panicked the jitter draw. Every (attempt, config) pairing
+// must yield a delay in [0, maxWait].
+func TestDelayNeverNegative(t *testing.T) {
+	configs := []struct {
+		name      string
+		base, max time.Duration
+	}{
+		{"defaults", 50 * time.Millisecond, 2 * time.Second},
+		{"zero base", 0, time.Second},
+		{"zero everything", 0, 0},
+		{"negative base", -time.Second, time.Second},
+		{"negative cap", time.Millisecond, -time.Second},
+		{"huge base", 1 << 55 * time.Nanosecond, 2 * time.Second},
+	}
+	for _, cfg := range configs {
+		c := New("http://example", WithBackoff(cfg.base, cfg.max), WithRetries(100))
+		for attempt := 0; attempt < 100; attempt++ {
+			for _, retryAfter := range []string{"", "0", "3", "junk"} {
+				d := c.delay(attempt, retryAfter)
+				if d < 0 {
+					t.Fatalf("%s: delay(%d, %q) = %v, negative", cfg.name, attempt, retryAfter, d)
+				}
+				if cfg.max > 0 && d > cfg.max {
+					t.Fatalf("%s: delay(%d, %q) = %v exceeds cap %v", cfg.name, attempt, retryAfter, d, cfg.max)
+				}
+			}
+		}
+	}
+}

@@ -22,13 +22,17 @@
 // Predicates come from query parameters — lo, hi, ge, gt, le, lt, eq —
 // each parsed with strconv.ParseFloat and reduced to a closed interval
 // exactly like the in-process engine constructors, then intersected.
+// Repeated parameters intersect too, so a conjunction of bounds can be
+// spelled one key per conjunct (the client's Predicate.And does this).
 // threads selects scan parallelism (default 1, which is bit-identical
 // to an in-process single-threaded FilterAgg on the same values).
 //
 // Robustness: a semaphore admission limiter sheds load with 429 +
 // Retry-After instead of queueing unboundedly; every request runs
-// under a deadline; ingest bodies are size-capped; Shutdown drains
-// in-flight requests while refusing new ones with 503.
+// under a deadline that also bounds raw connection reads and writes,
+// so a trickling ingest body or an unread scan response cannot pin an
+// admission slot past the timeout; ingest bodies are size-capped;
+// Shutdown drains in-flight requests while refusing new ones with 503.
 package server
 
 import (
@@ -41,6 +45,7 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -231,9 +236,26 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFu
 		o.ServerRequest()
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
+		// Bound the raw connection I/O to the same deadline. The context
+		// alone is only checked between blocking calls: a client trickling
+		// an ingest body (or refusing to read a scan response) would
+		// otherwise pin an admission slot indefinitely, since http.Server
+		// has no per-request body timeout of its own. Best-effort — an
+		// exotic ResponseWriter may not support deadlines, in which case
+		// the context deadline still bounds handler compute.
+		rc := http.NewResponseController(w)
+		ioDeadline := time.Now().Add(s.opts.RequestTimeout)
+		rc.SetReadDeadline(ioDeadline)
+		rc.SetWriteDeadline(ioDeadline)
+		// The server resets the read deadline before the next request on
+		// a kept-alive connection but leaves the write deadline alone;
+		// clear it so a later request on this connection isn't poisoned.
+		defer rc.SetWriteDeadline(time.Time{})
 		cw := &countingWriter{ResponseWriter: w}
+		// Deferred (not sequential) so bytes are counted even when a
+		// handler aborts the connection with http.ErrAbortHandler.
+		defer func() { o.ServerBytesOut(cw.n) }()
 		h(cw, r.WithContext(ctx))
-		o.ServerBytesOut(cw.n)
 	}
 }
 
@@ -277,33 +299,31 @@ func (s *Server) getColumn(w http.ResponseWriter, r *http.Request) (*storedColum
 
 // parsePredicate builds an engine predicate from query parameters by
 // intersecting every bound present: lo/ge (v >= x), gt (v > x), hi/le
-// (v <= x), lt (v < x), eq (v == x). No parameters means match-all
-// (NaNs never match a range predicate; use /data for an exact export).
-// The reductions are the engine's own constructors, so a server-side
-// predicate is the same closed interval the in-process operators see.
+// (v <= x), lt (v < x), eq (v == x). A parameter may repeat (the
+// client's Predicate.And emits one key per conjunct); every occurrence
+// is intersected, so the tightest bounds win. No parameters means
+// match-all (NaNs never match a range predicate; use /data for an
+// exact export). The reductions are the engine's own constructors, so
+// a server-side predicate is the same closed interval the in-process
+// operators see.
 func parsePredicate(q url.Values) (engine.Predicate, error) {
 	p := engine.Between(math.Inf(-1), math.Inf(1))
 	apply := func(key string, build func(x float64) engine.Predicate) error {
-		vals, ok := q[key]
-		if !ok {
-			return nil
-		}
-		if len(vals) != 1 {
-			return fmt.Errorf("parameter %q given %d times", key, len(vals))
-		}
-		x, err := strconv.ParseFloat(vals[0], 64)
-		if err != nil {
-			return fmt.Errorf("parameter %q: %v", key, err)
-		}
-		c := build(x)
-		// Intersection of closed intervals: max lower bound, min upper
-		// bound. A NaN bound (e.g. ge=NaN) propagates so the predicate
-		// matches nothing, same as the in-process constructors.
-		if c.Lo > p.Lo || math.IsNaN(c.Lo) {
-			p.Lo = c.Lo
-		}
-		if c.Hi < p.Hi || math.IsNaN(c.Hi) {
-			p.Hi = c.Hi
+		for _, val := range q[key] {
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("parameter %q: %v", key, err)
+			}
+			c := build(x)
+			// Intersection of closed intervals: max lower bound, min upper
+			// bound. A NaN bound (e.g. ge=NaN) propagates so the predicate
+			// matches nothing, same as the in-process constructors.
+			if c.Lo > p.Lo || math.IsNaN(c.Lo) {
+				p.Lo = c.Lo
+			}
+			if c.Hi < p.Hi || math.IsNaN(c.Hi) {
+				p.Hi = c.Hi
+			}
 		}
 		return nil
 	}
@@ -381,6 +401,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	o := obs.Active()
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	wr := alp.NewWriterParallel(alp.WriterOptions{Workers: s.opts.IngestWorkers})
+	// Every error return below must tear down the Writer's encode pool,
+	// or each failed ingest would permanently leak the pool's worker
+	// goroutines plus their in-flight row-group buffers. Abort is a
+	// no-op once the success path has called Close.
+	defer wr.Abort()
 	buf := make([]byte, 256<<10)
 	vals := make([]float64, len(buf)/8)
 	rem := 0 // bytes carried over to keep 8-byte alignment
@@ -408,6 +433,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			if errors.As(err, &mbe) {
 				httpError(w, http.StatusRequestEntityTooLarge,
 					fmt.Sprintf("body exceeds %d-byte cap", s.opts.MaxBodyBytes))
+				return
+			}
+			// The per-request read deadline set in wrap surfaces a
+			// stalled (trickling) body as a deadline error here.
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				httpError(w, http.StatusRequestTimeout, "ingest deadline exceeded")
 				return
 			}
 			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -528,11 +559,21 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": count, "threads": threads})
 }
 
+// ScanRowsTrailer is the HTTP trailer carrying the number of rows a
+// /scan response streamed. It is written only when the scan ran to
+// completion, so a client can distinguish a full result from a stream
+// cut short — a truncated body is otherwise indistinguishable from a
+// complete one, because every prefix of the stream is 8-byte aligned.
+const ScanRowsTrailer = "X-Alp-Scan-Rows"
+
 // handleScan streams the rows matching the predicate as little-endian
 // float64s, in position order, evaluating the predicate with zone-map
 // skipping plus the encoded-domain kernel vector-at-a-time. The
 // response is produced incrementally — a scan of a huge column never
-// materializes more than one vector.
+// materializes more than one vector. Completion is framed by the
+// ScanRowsTrailer; if the deadline fires or a write fails mid-stream
+// the connection is aborted so the client sees a transport error,
+// never a silently short 200.
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	sc, ok := s.getColumn(w, r)
 	if !ok {
@@ -547,6 +588,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		s.testHook()
 	}
 	start := time.Now()
+	w.Header().Set("Trailer", ScanRowsTrailer)
 	w.Header().Set("Content-Type", "application/x-alp-f64le")
 	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
 	var sel [format.SelWords]uint64
@@ -554,11 +596,19 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	scratch := make([]int64, vector.Size)
 	raw := make([]byte, vector.Size*8)
 	col := sc.col
-	skipped := 0
+	skipped, rows := 0, 0
 	o := obs.Active()
+	defer func() {
+		// Runs on the abort panic too, so counters stay coherent.
+		o.VectorsSkipped(skipped)
+		o.ServerScan(time.Since(start).Nanoseconds())
+	}()
 	for i := 0; i < col.NumVectors(); i++ {
 		if r.Context().Err() != nil {
-			return // deadline or client gone: the stream just ends
+			// Deadline (or client gone) mid-stream: tear the connection
+			// down instead of ending the body cleanly, so the truncation
+			// is a transport error the client can see and retry.
+			panic(http.ErrAbortHandler)
 		}
 		if col.Zones != nil && !col.Zones.MayContain(i, pred.Lo, pred.Hi) {
 			skipped++
@@ -572,11 +622,11 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(out[j]))
 		}
 		if _, err := w.Write(raw[:n*8]); err != nil {
-			return
+			panic(http.ErrAbortHandler)
 		}
+		rows += n
 	}
-	o.VectorsSkipped(skipped)
-	o.ServerScan(time.Since(start).Nanoseconds())
+	w.Header().Set(ScanRowsTrailer, strconv.Itoa(rows))
 }
 
 // handleData serves the column's full compressed stream verbatim: the

@@ -1,15 +1,20 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,14 +255,15 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("bad predicate: status %d, want 400", resp.StatusCode)
 	}
 
-	// Duplicate predicate parameter.
-	resp, err = http.Get(ts.URL + "/v1/columns/col/agg?ge=1&ge=2")
+	// A repeated parameter is legal (the bounds intersect), but every
+	// occurrence must still parse.
+	resp, err = http.Get(ts.URL + "/v1/columns/col/agg?ge=1&ge=bad")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("duplicate predicate: status %d, want 400", resp.StatusCode)
+		t.Errorf("unparseable repeated predicate: status %d, want 400", resp.StatusCode)
 	}
 
 	// Bad threads.
@@ -536,6 +542,161 @@ func TestMetricsEndpoint(t *testing.T) {
 	s := alp.ReadStats()
 	if s.ServerRequests != m["server_requests"] {
 		t.Errorf("alp.ReadStats().ServerRequests = %d, /metrics says %d", s.ServerRequests, m["server_requests"])
+	}
+}
+
+// TestPredicateConjunctions pins the repeated-parameter contract: the
+// client's And emits one query key per conjunct, and the server
+// intersects every occurrence so the tightest bounds win — the
+// documented semantics the old one-value-per-key parser rejected.
+func TestPredicateConjunctions(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	values := dataset(102400, 21)
+	if _, err := cl.Ingest(ctx, "conj", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	rel := engine.BuildALP(values)
+
+	cases := []struct {
+		name   string
+		remote client.Predicate
+		local  engine.Predicate
+	}{
+		{"ge and ge", client.GE(100).And(client.GE(140)), engine.GE(140)},
+		{"chained and", client.GE(100).And(client.GE(140)).And(client.LE(150)), engine.Between(140, 150)},
+		{"between and between", client.Between(80, 160).And(client.Between(100, 150)), engine.Between(100, 150)},
+		{"eq and eq", client.EQ(values[7]).And(client.EQ(values[7])), engine.EQ(values[7])},
+		{"contradiction", client.LT(100).And(client.GT(150)), engine.Predicate{Lo: math.Nextafter(150, math.Inf(1)), Hi: math.Nextafter(100, math.Inf(-1))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := cl.Agg(ctx, "conj", tc.remote)
+			if err != nil {
+				t.Fatalf("agg: %v", err)
+			}
+			want, _ := rel.FilterAgg(1, tc.local)
+			if got.Count != want.Count {
+				t.Fatalf("count = %d, want %d", got.Count, want.Count)
+			}
+			if math.Float64bits(got.Sum) != math.Float64bits(want.Sum) {
+				t.Errorf("sum = %v, want %v", got.Sum, want.Sum)
+			}
+		})
+	}
+
+	// Raw repeated keys take the same intersection path.
+	resp, err := http.Get(ts.URL + "/v1/columns/conj/agg?ge=1&ge=2&le=300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeated ge: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestIngestErrorTearsDownEncodePool proves a failed ingest does not
+// leak the parallel Writer's worker goroutines: each bad request used
+// to strand a full encode pool (workers + row-group buffers) forever.
+func TestIngestErrorTearsDownEncodePool(t *testing.T) {
+	srv := New(Options{IngestWorkers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(ts.URL+"/v1/columns/leak", "application/x-alp-f64le",
+			strings.NewReader("123")) // misaligned: 3 trailing bytes
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("misaligned ingest %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after failed ingests: encode pool leaked",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestScanDeadlineSurfacesAsError proves a scan cut short by the
+// request deadline is an error at the client, never a silently partial
+// result: the server aborts the connection instead of ending the
+// 8-byte-aligned stream cleanly.
+func TestScanDeadlineSurfacesAsError(t *testing.T) {
+	srv := New(Options{RequestTimeout: 50 * time.Millisecond})
+	var slowScan atomic.Bool // toggled, not the hook itself: the aborted handler may outlive the scan call
+	srv.testHook = func() {
+		if slowScan.Load() {
+			time.Sleep(200 * time.Millisecond) // outlive the deadline mid-handler
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL, client.WithRetries(0))
+	if _, err := cl.Ingest(ctx, "col", dataset(4096, 22)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	slowScan.Store(true)
+	if _, err := cl.Scan(ctx, "col", client.All()); err == nil {
+		t.Fatal("scan truncated by the server deadline returned rows with nil error")
+	}
+	slowScan.Store(false)
+
+	// A scan that completes — including one matching nothing, whose
+	// body is empty — carries the completion trailer and succeeds.
+	rows, err := cl.Scan(ctx, "col", client.Between(1e9, 2e9))
+	if err != nil {
+		t.Fatalf("empty scan: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty scan returned %d rows", len(rows))
+	}
+}
+
+// TestIngestStalledBodyTimesOut proves a client trickling an ingest
+// body cannot hold an admission slot past the request deadline: the
+// connection-level read deadline bounds the stalled Read.
+func TestIngestStalledBodyTimesOut(t *testing.T) {
+	srv := New(Options{RequestTimeout: 200 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/columns/slow HTTP/1.1\r\nHost: alpserved\r\n"+
+		"Content-Type: application/x-alp-f64le\r\nContent-Length: 4096\r\n\r\n")
+	conn.Write(make([]byte, 16)) // a sliver of body, then stall forever
+
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("server never answered the stalled ingest: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Errorf("stalled ingest: status %d, want 408", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stalled ingest held its slot for %v; read deadline did not fire", elapsed)
 	}
 }
 

@@ -147,6 +147,25 @@ func (w *Writer) Close() []byte {
 	return w.out
 }
 
+// Abort discards the Writer without producing output: in-flight
+// row-groups are drained and dropped, the encode pool's worker
+// goroutines exit, and buffered state is released. After Abort the
+// Writer is closed — Write panics and Close returns nil. Abort after
+// Close (or a second Abort) is a no-op, so `defer w.Abort()` is a safe
+// teardown on error paths that may or may not reach Close.
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.pending = nil
+	w.groups = nil
+	if w.pool != nil {
+		w.pool.Finish()
+		w.pool = nil
+	}
+}
+
 // Reader decompresses a column stream vector-at-a-time, the access
 // pattern of a vectorized scan operator.
 type Reader struct {

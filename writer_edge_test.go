@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // TestWriterWorkersClamping pins the WriterOptions.Workers contract:
@@ -35,6 +37,57 @@ func TestWriterWorkersClamping(t *testing.T) {
 			t.Errorf("Workers=%d: output differs from serial Writer (%d vs %d bytes)",
 				workers, len(got), len(want))
 		}
+	}
+}
+
+// TestWriterAbort pins Abort's teardown contract: the encode pool's
+// worker goroutines exit, Close after Abort returns nil instead of a
+// truncated column, Write after Abort panics like Write after Close,
+// and Abort after Close (the deferred-teardown idiom on error paths)
+// is a no-op that preserves Close's output.
+func TestWriterAbort(t *testing.T) {
+	values := make([]float64, 2*RowGroupSize)
+	for i := range values {
+		values[i] = float64(i) / 8
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		w := NewWriterParallel(WriterOptions{Workers: 4})
+		w.Write(values)
+		w.Abort()
+		w.Abort() // idempotent
+		if out := w.Close(); out != nil {
+			t.Fatalf("Close after Abort returned %d bytes, want nil", len(out))
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d: Abort leaked pool workers",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	w := NewWriterParallel(WriterOptions{Workers: 2})
+	w.Abort()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Write after Abort did not panic")
+			}
+		}()
+		w.Write(values[:1])
+	}()
+
+	w2 := NewWriterParallel(WriterOptions{Workers: 2})
+	w2.Write(values)
+	out := w2.Close()
+	w2.Abort()
+	if again := w2.Close(); !bytes.Equal(out, again) {
+		t.Errorf("Abort after Close corrupted the cached output (%d vs %d bytes)",
+			len(out), len(again))
 	}
 }
 
