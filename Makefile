@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke fuzz-smoke serve-smoke server-race check clean
+.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race check clean
 
 all: check
 
@@ -25,6 +25,14 @@ race:
 # (including BenchmarkEncodeObsOff/On) without burning CI minutes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The dated core-throughput snapshot: encode/decode/filter MV/s over
+# three dataset shapes, written to BENCH_core.json. Non-gating — CI
+# uploads it as an artifact so performance drift is a diff, not a
+# build break.
+bench-snapshot:
+	$(GO) run ./cmd/alpbench -snapshot BENCH_core.json
+	@cat BENCH_core.json
 
 # Short coverage-guided fuzzing runs on top of the checked-in seed
 # corpora (testdata/fuzz/): round-trip losslessness on arbitrary bit

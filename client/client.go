@@ -24,22 +24,76 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/goalp/alp"
+	"github.com/goalp/alp/internal/obs"
 )
 
 // Client talks to one alpserved base URL. It is safe for concurrent
 // use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	maxWait time.Duration
+	base       string
+	hc         *http.Client
+	retryLimit int
+	backoff    time.Duration
+	maxWait    time.Duration
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Retry-behavior counters, read via Stats.
+	calls     atomic.Int64
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	shed      atomic.Int64
+	serverErr atomic.Int64
+	transport atomic.Int64
+	backoffNs atomic.Int64
+}
+
+// RequestIDHeader is the header carrying the request ID the client
+// attaches to every attempt of a call (all retries of one call share
+// an ID, so server-side access-log lines correlate). The server echoes
+// the effective ID back on the response.
+const RequestIDHeader = "X-Alp-Request-Id"
+
+// Stats is a point-in-time snapshot of the client's retry behavior —
+// the consumer-side view of the server's load shedding.
+type Stats struct {
+	// Calls is the number of API calls issued (one per do, however many
+	// attempts each took).
+	Calls int64
+	// Attempts is the number of HTTP attempts, including first tries.
+	Attempts int64
+	// Retries is the number of attempts beyond each call's first.
+	Retries int64
+	// Shed counts 429 (shed load) responses.
+	Shed int64
+	// ServerErrors counts 5xx responses (including 503 draining).
+	ServerErrors int64
+	// TransportErrors counts attempts that failed below HTTP (refused
+	// connections, resets, truncated bodies).
+	TransportErrors int64
+	// BackoffNs is the total time spent sleeping between attempts, in
+	// nanoseconds.
+	BackoffNs int64
+}
+
+// Stats returns the client's cumulative retry counters. Safe to call
+// concurrently with in-flight requests; the fields are read
+// individually, so a snapshot taken mid-call may be slightly torn.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Calls:           c.calls.Load(),
+		Attempts:        c.attempts.Load(),
+		Retries:         c.retries.Load(),
+		Shed:            c.shed.Load(),
+		ServerErrors:    c.serverErr.Load(),
+		TransportErrors: c.transport.Load(),
+		BackoffNs:       c.backoffNs.Load(),
+	}
 }
 
 // Option configures a Client.
@@ -50,7 +104,7 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 
 // WithRetries sets how many times a retryable failure is retried
 // (default 4; 0 disables retries).
-func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+func WithRetries(n int) Option { return func(c *Client) { c.retryLimit = n } }
 
 // WithBackoff sets the base and cap of the exponential backoff
 // schedule (defaults 50ms base, 2s cap). Jitter of up to half the
@@ -64,12 +118,12 @@ func WithBackoff(base, max time.Duration) Option {
 // "http://127.0.0.1:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		hc:      &http.Client{},
-		retries: 4,
-		backoff: 50 * time.Millisecond,
-		maxWait: 2 * time.Second,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         &http.Client{},
+		retryLimit: 4,
+		backoff:    50 * time.Millisecond,
+		maxWait:    2 * time.Second,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
 		o(c)
@@ -109,8 +163,14 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	c.calls.Add(1)
+	reqID := obs.NewRequestID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		c.attempts.Add(1)
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -119,6 +179,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		if err != nil {
 			return nil, nil, err
 		}
+		req.Header.Set(RequestIDHeader, reqID)
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
@@ -131,6 +192,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			if ctx.Err() != nil {
 				return nil, nil, ctx.Err()
 			}
+			c.transport.Add(1)
 			lastErr = err
 			wait = c.delay(attempt, "")
 		default:
@@ -140,6 +202,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 				if ctx.Err() != nil {
 					return nil, nil, ctx.Err()
 				}
+				c.transport.Add(1)
 				lastErr = readErr
 				wait = c.delay(attempt, "")
 				break
@@ -157,6 +220,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 				}
 				return payload, hdr, nil
 			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				c.shed.Add(1)
+			} else if resp.StatusCode >= 500 {
+				c.serverErr.Add(1)
+			}
 			apiErr := &APIError{Status: resp.StatusCode, Message: errMessage(payload)}
 			if !retryable(resp.StatusCode) {
 				return nil, nil, apiErr
@@ -164,15 +232,18 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			lastErr = apiErr
 			wait = c.delay(attempt, resp.Header.Get("Retry-After"))
 		}
-		if attempt >= c.retries {
+		if attempt >= c.retryLimit {
 			return nil, nil, fmt.Errorf("alpserved: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
+		slept := time.Now()
 		t := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
 			t.Stop()
+			c.backoffNs.Add(time.Since(slept).Nanoseconds())
 			return nil, nil, ctx.Err()
 		case <-t.C:
+			c.backoffNs.Add(time.Since(slept).Nanoseconds())
 		}
 	}
 }
@@ -493,9 +564,11 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 }
 
 // Health reports whether the server is accepting requests (false while
-// draining). Unlike other calls it never retries.
+// draining). It probes the readiness endpoint /readyz — the liveness
+// probe /healthz stays 200 during a drain. Unlike other calls it never
+// retries.
 func (c *Client) Health(ctx context.Context) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
 	if err != nil {
 		return false, err
 	}

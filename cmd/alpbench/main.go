@@ -12,13 +12,15 @@
 //
 // Observability: -metrics ADDR enables the codec-wide stats collector
 // and serves, for the lifetime of the run, an HTTP endpoint with
-// /metrics (the alp.Stats snapshot as JSON), /debug/vars (expvar,
+// /metrics (the full metrics snapshot as JSON: counters plus the
+// lat_*/stage_* latency-histogram quantiles), /debug/vars (expvar,
 // including the published "alp" variable) and /debug/pprof (CPU, heap,
-// mutex and block profiles). -stats prints the final counter snapshot
-// to stderr after the experiments finish.
+// mutex and block profiles). -stats prints the final snapshot to
+// stderr after the experiments finish.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -44,17 +46,36 @@ func main() {
 		encWork = flag.String("encworkers", "1,2,4,8", "worker counts for the parallel pipeline experiment")
 		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) and enable stats collection")
 		stats   = flag.Bool("stats", false, "enable stats collection and print the final snapshot to stderr")
+		snap    = flag.String("snapshot", "", "write the core throughput snapshot (encode/decode/filter MV/s as JSON) to this file and exit (\"-\" = stdout)")
 	)
 	flag.Parse()
+
+	if *snap != "" {
+		out := os.Stdout
+		if *snap != "-" {
+			f, err := os.Create(*snap)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "alpbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.RunSnapshot(out, bench.Options{N: *n, GHz: *ghz, MinDur: *minDur}); err != nil {
+			fmt.Fprintln(os.Stderr, "alpbench: snapshot:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metrics != "" || *stats {
 		alp.EnableStats()
 	}
 	if *metrics != "" {
-		expvar.Publish("alp", expvar.Func(func() any { return alp.ReadStats() }))
+		expvar.Publish("alp", expvar.Func(func() any { return json.RawMessage(alp.MetricsJSON()) }))
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			fmt.Fprintln(w, alp.ReadStats().String())
+			fmt.Fprintln(w, alp.MetricsJSON())
 		})
 		go func() {
 			if err := http.ListenAndServe(*metrics, nil); err != nil {
@@ -121,7 +142,7 @@ func main() {
 
 	if *stats {
 		s := alp.ReadStats()
-		fmt.Fprintln(os.Stderr, "alpbench: codec stats:", s.String())
+		fmt.Fprintln(os.Stderr, "alpbench: codec stats:", alp.MetricsJSON())
 		fmt.Fprintf(os.Stderr, "alpbench: encode %.1f ns/value, decode %.1f ns/value, zone-map skip rate %.1f%%\n",
 			s.EncodeNsPerValue(), s.DecodeNsPerValue(), 100*s.SkipRate())
 	}

@@ -21,6 +21,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -33,6 +34,24 @@ import (
 	"github.com/goalp/alp/internal/server"
 )
 
+// openLog resolves a log-destination flag: empty disables, "-" means
+// stderr, anything else appends to that file. The server serializes
+// writes, so O_APPEND is enough for a well-formed line stream.
+func openLog(path string) io.Writer {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return os.Stderr
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alpserved:", err)
+		os.Exit(1)
+	}
+	return f
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
@@ -44,17 +63,23 @@ func main() {
 		retryIn = flag.Duration("retry-after", time.Second, "Retry-After hint returned with shed load")
 		drainT  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		debug   = flag.Bool("debug", false, "also serve /debug/vars and /debug/pprof")
+		accLog  = flag.String("access-log", "", "write a structured JSON access-log line per request to this file (\"-\" = stderr)")
+		slowLog = flag.String("slow-log", "", "write slow-query lines to this file (\"-\" = stderr)")
+		slowAt  = flag.Duration("slow-threshold", 250*time.Millisecond, "requests at least this slow go to the slow-query log")
 	)
 	flag.Parse()
 
 	alp.EnableStats()
 	srv := server.New(server.Options{
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		RetryAfter:     *retryIn,
-		IngestWorkers:  *workers,
-		DefaultThreads: *threads,
+		MaxConcurrent:      *maxConc,
+		RequestTimeout:     *timeout,
+		MaxBodyBytes:       *maxBody,
+		RetryAfter:         *retryIn,
+		IngestWorkers:      *workers,
+		DefaultThreads:     *threads,
+		AccessLog:          openLog(*accLog),
+		SlowQueryLog:       openLog(*slowLog),
+		SlowQueryThreshold: *slowAt,
 	})
 
 	mux := http.NewServeMux()

@@ -1,0 +1,116 @@
+// The benchmark snapshot: a small, dated, machine-readable record of
+// core codec throughput, written by `alpbench -snapshot` (and `make
+// bench-snapshot`) so performance drift between PRs shows up as a diff
+// of BENCH_core.json rather than an anecdote. It deliberately measures
+// only the three load-bearing paths — encode, decode, filtered
+// aggregate — on three dataset shapes that exercise different regimes:
+// a decimal time series (ALP proper), a zero-heavy monetary column
+// (narrow bit widths, heavy vector skipping) and a coordinate column
+// that falls back to ALP_rd.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/format"
+)
+
+// snapshotDatasets are the three shapes the snapshot tracks.
+var snapshotDatasets = []string{"City-Temp", "Gov/10", "POI-lat"}
+
+// SnapshotEntry is one dataset's row in BENCH_core.json. Throughputs
+// are in MV/s — millions of values per second of wall time — the
+// clock-independent sibling of the paper's tuples/cycle.
+type SnapshotEntry struct {
+	Dataset      string  `json:"dataset"`
+	Values       int     `json:"values"`
+	BitsPerValue float64 `json:"bits_per_value"`
+	UsedRD       bool    `json:"used_rd"`
+	EncodeMVs    float64 `json:"encode_mvs"`
+	DecodeMVs    float64 `json:"decode_mvs"`
+	FilterMVs    float64 `json:"filter_mvs"`
+}
+
+// SnapshotDoc is the whole BENCH_core.json document.
+type SnapshotDoc struct {
+	Date      string          `json:"date"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	CPUs      int             `json:"cpus"`
+	N         int             `json:"values_per_dataset"`
+	Entries   []SnapshotEntry `json:"entries"`
+}
+
+// RunSnapshot measures the snapshot entries and writes the document as
+// indented JSON to w. Encode and decode run the serial column paths
+// (the per-core numbers the paper reports); the filter is a
+// single-threaded pushdown aggregate over the middle half of each
+// dataset's value range, so all three regimes do real kernel work.
+func RunSnapshot(w io.Writer, opt Options) error {
+	doc := SnapshotDoc{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		N:         opt.N,
+	}
+	for _, name := range snapshotDatasets {
+		d, ok := dataset.ByName(name)
+		if !ok {
+			return fmt.Errorf("snapshot dataset %q not in registry", name)
+		}
+		doc.Entries = append(doc.Entries, measureSnapshot(d, opt))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func measureSnapshot(d dataset.Dataset, opt Options) SnapshotEntry {
+	values := d.Generate(opt.N)
+	col := format.EncodeColumn(values)
+
+	encSec := measureSeconds(func() { format.EncodeColumn(values) }, opt.MinDur)
+	decSec := measureSeconds(func() { col.Decode() }, opt.MinDur)
+
+	// Mid-range predicate: the middle half of the observed value range,
+	// selective enough that the filter kernel, the zone maps and the
+	// gather all participate.
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	quarter := (hi - lo) / 4
+	pred := engine.Between(lo+quarter, hi-quarter)
+	rel := engine.BuildALP(values)
+	filtSec := measureSeconds(func() { rel.FilterAgg(1, pred) }, opt.MinDur)
+
+	mvs := func(sec float64) float64 {
+		if sec <= 0 {
+			return 0
+		}
+		return float64(len(values)) / sec / 1e6
+	}
+	return SnapshotEntry{
+		Dataset:      d.Name,
+		Values:       len(values),
+		BitsPerValue: col.BitsPerValue(),
+		UsedRD:       col.UsedRD(),
+		EncodeMVs:    mvs(encSec),
+		DecodeMVs:    mvs(decSec),
+		FilterMVs:    mvs(filtSec),
+	}
+}

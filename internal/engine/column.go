@@ -49,16 +49,19 @@ func (p *alpViewPartition) FilterAgg(pred Predicate, bufs *filterBufs, a *Agg) i
 	o := obs.Active()
 	touched := 0
 	skipped := 0
+	var batch obs.ScanBatch
 	for i := p.firstVec; i < p.firstVec+p.numVecs; i++ {
 		if p.col.Zones != nil && !p.col.Zones.MayContain(i, pred.Lo, pred.Hi) {
 			skipped++
 			continue
 		}
-		n, _ := p.col.FilterGatherVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		n, pd := p.col.FilterGatherVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		batch.Vector(n, pd)
 		touched++
 		a.fold(bufs.out[:n])
 	}
 	o.VectorsSkipped(skipped)
+	o.FlushScanBatch(&batch)
 	return touched
 }
 
@@ -68,16 +71,19 @@ func (p *alpViewPartition) FilterCount(pred Predicate, bufs *filterBufs) (int64,
 	var count int64
 	touched := 0
 	skipped := 0
+	var batch obs.ScanBatch
 	for i := p.firstVec; i < p.firstVec+p.numVecs; i++ {
 		if p.col.Zones != nil && !p.col.Zones.MayContain(i, pred.Lo, pred.Hi) {
 			skipped++
 			continue
 		}
-		n, _ := p.col.FilterVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		n, pd := p.col.FilterVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		batch.Vector(n, pd)
 		touched++
 		count += int64(n)
 	}
 	o.VectorsSkipped(skipped)
+	o.FlushScanBatch(&batch)
 	return count, touched
 }
 

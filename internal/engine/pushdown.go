@@ -9,9 +9,11 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
@@ -137,6 +139,7 @@ type PushdownScanner interface {
 func filterAggFallback(part Partition, p Predicate, bufs *filterBufs, a *Agg) int {
 	o := obs.Active()
 	touched := 0
+	var batch obs.ScanBatch
 	part.Scan(bufs.out, func(vals []float64) {
 		touched++
 		selected := 0
@@ -153,9 +156,9 @@ func filterAggFallback(part Partition, p Predicate, bufs *filterBufs, a *Agg) in
 			}
 		}
 		a.Count += int64(selected)
-		o.PushdownFallback()
-		o.RowsSelected(selected)
+		batch.Vector(selected, false)
 	})
+	o.FlushScanBatch(&batch)
 	return touched
 }
 
@@ -176,6 +179,34 @@ func (r *Relation) FilterAgg(threads int, p Predicate) (Agg, int) {
 // decode-then-filter comparand for benchmarks and differential tests.
 func (r *Relation) FilterAggNaive(threads int, p Predicate) (Agg, int) {
 	return r.filterAgg(threads, p, true)
+}
+
+// FilterAggCtx is FilterAgg with request-scoped tracing: when ctx
+// carries an obs.Trace (a traced server request), the whole morsel
+// fan-out is attributed to the trace's engine span. The query itself
+// is unaffected — untraced contexts behave exactly like FilterAgg.
+func (r *Relation) FilterAggCtx(ctx context.Context, threads int, p Predicate) (Agg, int) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return r.filterAgg(threads, p, false)
+	}
+	start := time.Now()
+	a, n := r.filterAgg(threads, p, false)
+	tr.AddSince(obs.SpanEngine, start)
+	return a, n
+}
+
+// FilterCountCtx is FilterCount with request-scoped tracing, mirroring
+// FilterAggCtx.
+func (r *Relation) FilterCountCtx(ctx context.Context, threads int, p Predicate) int64 {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return r.FilterCount(threads, p)
+	}
+	start := time.Now()
+	c := r.FilterCount(threads, p)
+	tr.AddSince(obs.SpanEngine, start)
+	return c
 }
 
 func (r *Relation) filterAgg(threads int, p Predicate, forceNaive bool) (Agg, int) {
@@ -272,17 +303,20 @@ func (p *alpPartition) FilterAgg(pred Predicate, bufs *filterBufs, a *Agg) int {
 	o := obs.Active()
 	touched := 0
 	skipped := 0
+	var batch obs.ScanBatch
 	col := p.col
 	for i := 0; i < col.NumVectors(); i++ {
 		if col.Zones != nil && !col.Zones.MayContain(i, pred.Lo, pred.Hi) {
 			skipped++
 			continue
 		}
-		n, _ := col.FilterGatherVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		n, pd := col.FilterGatherVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		batch.Vector(n, pd)
 		touched++
 		a.fold(bufs.out[:n])
 	}
 	o.VectorsSkipped(skipped)
+	o.FlushScanBatch(&batch)
 	return touched
 }
 
@@ -294,16 +328,19 @@ func (p *alpPartition) FilterCount(pred Predicate, bufs *filterBufs) (int64, int
 	var count int64
 	touched := 0
 	skipped := 0
+	var batch obs.ScanBatch
 	col := p.col
 	for i := 0; i < col.NumVectors(); i++ {
 		if col.Zones != nil && !col.Zones.MayContain(i, pred.Lo, pred.Hi) {
 			skipped++
 			continue
 		}
-		n, _ := col.FilterVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		n, pd := col.FilterVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		batch.Vector(n, pd)
 		touched++
 		count += int64(n)
 	}
 	o.VectorsSkipped(skipped)
+	o.FlushScanBatch(&batch)
 	return count, touched
 }

@@ -10,9 +10,11 @@
 package fastlanes
 
 import (
+	"time"
 	"unsafe"
 
 	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/obs"
 )
 
 // FFOR is a Frame-Of-Reference + bit-packing encoding of an int64
@@ -52,8 +54,17 @@ func EncodeFFOR(src []int64) FFOR {
 }
 
 // Decode decompresses the vector into dst, which must have length f.N.
-// The addition of the base is fused into the unpacking loop.
+// The addition of the base is fused into the unpacking loop. With the
+// collector enabled, sampled calls report into the FFOR-unpack stage
+// histogram — the per-vector cycle budget the Lemire/Boytsov decoding
+// work tunes against; disabled, the cost is one nil check.
 func (f *FFOR) Decode(dst []int64) {
+	if o := obs.Active(); o != nil && o.SampleStage(obs.HistStageUnpack) {
+		start := time.Now()
+		bitpack.Unpack(asUint64(dst), f.Words, f.Width, uint64(f.Base))
+		o.Observe(obs.HistStageUnpack, time.Since(start).Nanoseconds())
+		return
+	}
 	bitpack.Unpack(asUint64(dst), f.Words, f.Width, uint64(f.Base))
 }
 

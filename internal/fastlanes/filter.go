@@ -2,8 +2,10 @@ package fastlanes
 
 import (
 	"math/bits"
+	"time"
 
 	"github.com/goalp/alp/internal/bitpack"
+	"github.com/goalp/alp/internal/obs"
 )
 
 // SelWords returns the number of uint64 words a selection bitmap needs
@@ -34,6 +36,20 @@ func SelWords(n int) int { return (n + 63) / 64 }
 // not overflow int64 — always true for ALP-encoded integers, which are
 // confined to ±2^51.
 func (f *FFOR) FilterRange(dlo, dhi int64, sel []uint64, scratch []int64) int {
+	// Stage timing: the fused filter is the pushdown hot path, so the
+	// collector samples one call in a few rather than bracketing every
+	// ~µs kernel with clock reads; disabled, the cost is a predicted
+	// branch.
+	if o := obs.Active(); o != nil && o.SampleStage(obs.HistStageFilter) {
+		start := time.Now()
+		count := f.filterRange(dlo, dhi, sel, scratch)
+		o.Observe(obs.HistStageFilter, time.Since(start).Nanoseconds())
+		return count
+	}
+	return f.filterRange(dlo, dhi, sel, scratch)
+}
+
+func (f *FFOR) filterRange(dlo, dhi int64, sel []uint64, scratch []int64) int {
 	n := f.N
 	nw := SelWords(n)
 	for i := 0; i < nw; i++ {

@@ -13,6 +13,7 @@ package format
 
 import (
 	"math"
+	"time"
 
 	"github.com/goalp/alp/internal/fastlanes"
 	"github.com/goalp/alp/internal/obs"
@@ -66,15 +67,16 @@ func setAllSel(sel []uint64, n int) {
 // the encoded-domain pushdown kernel answered it (false = the vector
 // was decoded to floats). buf and scratch must each hold vector.Size
 // elements; no other allocation happens. NaN values never match.
+//
+// The pushdown counters are the caller's job: scan loops fold the
+// (count, pushdown) results into an obs.ScanBatch and flush it per
+// partition, so the per-vector path records nothing.
 func (c *Column) FilterVector(i int, lo, hi float64, sel []uint64, buf []float64, scratch []int64) (count int, pushdown bool) {
-	o := obs.Active()
 	if c.fullMatch(i, lo, hi) {
 		// Metadata-only answer: every row qualifies, the payload is
 		// never touched.
 		n := c.vectorLen(i)
 		setAllSel(sel, n)
-		o.PushdownVector()
-		o.RowsSelected(n)
 		return n, true
 	}
 	g := i / vector.RowGroupVectors
@@ -82,33 +84,25 @@ func (c *Column) FilterVector(i int, lo, hi float64, sel []uint64, buf []float64
 	rg := &c.RowGroups[g]
 	if rg.Scheme == SchemeALP {
 		v := &rg.Vectors[local]
-		count = v.Filter(lo, hi, sel, scratch)
-		o.PushdownVector()
-		o.RowsSelected(count)
-		return count, true
+		return v.Filter(lo, hi, sel, scratch), true
 	}
 	v := &rg.RDVectors[local]
 	rg.RD.DecodeVector(v, buf[:v.N])
-	count = filterFloats(buf[:v.N], lo, hi, sel)
-	o.PushdownFallback()
-	o.RowsSelected(count)
-	return count, false
+	return filterFloats(buf[:v.N], lo, hi, sel), false
 }
 
 // FilterGatherVector is FilterVector fused with the gather: qualifying
 // rows are written densely into out (room for the vector's n values),
 // in position order, bit-exact with a decode-then-filter scan. Only
 // qualifying rows are ever materialized as floats on the pushdown
-// path.
+// path. Like FilterVector, it records no pushdown counters itself —
+// scan loops batch them via obs.ScanBatch.
 func (c *Column) FilterGatherVector(i int, lo, hi float64, sel []uint64, out []float64, scratch []int64) (count int, pushdown bool) {
-	o := obs.Active()
 	if c.fullMatch(i, lo, hi) {
 		// Every row qualifies: bulk-decode instead of per-bit gather,
 		// which matters when the predicate is barely selective.
 		n := c.DecodeVector(i, out, scratch)
 		setAllSel(sel, n)
-		o.PushdownVector()
-		o.RowsSelected(n)
 		return n, true
 	}
 	g := i / vector.RowGroupVectors
@@ -118,10 +112,18 @@ func (c *Column) FilterGatherVector(i int, lo, hi float64, sel []uint64, out []f
 		v := &rg.Vectors[local]
 		count = v.Filter(lo, hi, sel, scratch)
 		if count > 0 {
-			v.GatherSelected(sel, scratch, out)
+			// The gather — materializing qualifying rows as floats — is
+			// the stage the paper's pushdown saves when selectivity is
+			// low; its (sampled) histogram shows how that saving lands
+			// per vector.
+			if o := obs.Active(); o.SampleStage(obs.HistStageGather) {
+				start := time.Now()
+				v.GatherSelected(sel, scratch, out)
+				o.Observe(obs.HistStageGather, time.Since(start).Nanoseconds())
+			} else {
+				v.GatherSelected(sel, scratch, out)
+			}
 		}
-		o.PushdownVector()
-		o.RowsSelected(count)
 		return count, true
 	}
 	// ALP_rd fallback: decode into out, then compact qualifying rows
@@ -136,8 +138,6 @@ func (c *Column) FilterGatherVector(i int, lo, hi float64, sel []uint64, out []f
 			w++
 		}
 	}
-	o.PushdownFallback()
-	o.RowsSelected(count)
 	return count, false
 }
 
@@ -187,16 +187,19 @@ func (c *Column) AggRange(lo, hi float64) FilterAggResult {
 	scratch := make([]int64, vector.Size)
 	out := make([]float64, vector.Size)
 	skipped := 0
+	var batch obs.ScanBatch
 	for i := 0; i < c.NumVectors(); i++ {
 		if c.Zones != nil && !c.Zones.MayContain(i, lo, hi) {
 			skipped++
 			continue
 		}
-		n, _ := c.FilterGatherVector(i, lo, hi, sel[:], out, scratch)
+		n, pd := c.FilterGatherVector(i, lo, hi, sel[:], out, scratch)
+		batch.Vector(n, pd)
 		res.Touched++
 		foldAgg(&res, out[:n])
 	}
 	o.VectorsSkipped(skipped)
+	o.FlushScanBatch(&batch)
 	return res
 }
 

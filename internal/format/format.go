@@ -129,7 +129,9 @@ func encodeRowGroup(values []float64, start int, scratch []int64) RowGroup {
 		}
 		o.RowGroup(true)
 		if o != nil {
-			o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
+			ns := time.Since(began).Nanoseconds()
+			o.EncodeTime(ns, len(values))
+			o.Observe(obs.HistStageEncode, ns)
 		}
 		return rg
 	}
@@ -145,7 +147,9 @@ func encodeRowGroup(values []float64, start int, scratch []int64) RowGroup {
 	}
 	o.RowGroup(false)
 	if o != nil {
-		o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
+		ns := time.Since(began).Nanoseconds()
+		o.EncodeTime(ns, len(values))
+		o.Observe(obs.HistStageEncode, ns)
 	}
 	return rg
 }

@@ -82,7 +82,9 @@ func encodeRowGroup32(values []float32, start int, scratch []int64) RowGroup32 {
 		}
 		o.RowGroup(true)
 		if o != nil {
-			o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
+			ns := time.Since(began).Nanoseconds()
+			o.EncodeTime(ns, len(values))
+			o.Observe(obs.HistStageEncode, ns)
 		}
 		return rg
 	}
@@ -97,7 +99,9 @@ func encodeRowGroup32(values []float32, start int, scratch []int64) RowGroup32 {
 	}
 	o.RowGroup(false)
 	if o != nil {
-		o.EncodeTime(time.Since(began).Nanoseconds(), len(values))
+		ns := time.Since(began).Nanoseconds()
+		o.EncodeTime(ns, len(values))
+		o.Observe(obs.HistStageEncode, ns)
 	}
 	return rg
 }

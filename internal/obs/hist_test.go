@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the log2 bucket layout: bucket 0
+// holds [0, 2), bucket b holds [2^b, 2^(b+1)), and everything past the
+// top boundary lands in the last bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{-5, 0}, // clock step: clamped
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{7, 2},
+		{8, 3},
+		{1023, 9},
+		{1024, 10},
+		{1025, 10},
+		{1_000_000, 19},                         // ~1ms
+		{1_000_000_000, 29},                     // ~1s
+		{int64(1) << 43, 43},                    // top boundary
+		{(int64(1) << 43) + 1, 43},              // clamped into top bucket
+		{int64(1)<<62 + 12345, HistBuckets - 1}, // far past the top
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Record(tc.ns)
+		s := h.Snapshot()
+		for b, n := range s.Buckets {
+			want := int64(0)
+			if b == tc.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Record(%d): bucket[%d] = %d, want %d", tc.ns, b, n, want)
+			}
+		}
+	}
+}
+
+// TestHistogramCountSumMax checks the scalar accumulators and that
+// negative samples clamp to zero rather than corrupting the sum.
+func TestHistogramCountSumMax(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{100, 200, 50, -7, 1000} {
+		h.Record(ns)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.SumNs != 1350 {
+		t.Errorf("SumNs = %d, want 1350", s.SumNs)
+	}
+	if s.MaxNs != 1000 {
+		t.Errorf("MaxNs = %d, want 1000", s.MaxNs)
+	}
+	if m := s.Mean(); m != 270 {
+		t.Errorf("Mean = %v, want 270", m)
+	}
+}
+
+// TestHistogramQuantiles checks the interpolated quantiles stay inside
+// the bucket that holds the target rank and that extremes behave:
+// quantiles never exceed the observed max, and a one-sample histogram
+// reports that sample everywhere.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast samples in bucket [1024, 2048), 10 slow in [1<<20, 1<<21).
+	for i := 0; i < 90; i++ {
+		h.Record(1500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1 << 20)
+	}
+	s := h.Snapshot()
+	if p := s.P50(); p < 1024 || p >= 2048 {
+		t.Errorf("P50 = %d, want within fast bucket [1024, 2048)", p)
+	}
+	if p := s.P99(); p < 1<<20 || p > s.MaxNs {
+		t.Errorf("P99 = %d, want within slow bucket [%d, max %d]", p, 1<<20, s.MaxNs)
+	}
+	if q := s.Quantile(1.0); q != s.MaxNs {
+		t.Errorf("Quantile(1.0) = %d, want max %d", q, s.MaxNs)
+	}
+
+	var one Histogram
+	one.Record(777)
+	os := one.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if v := os.Quantile(q); v < 512 || v > 777 {
+			t.Errorf("one-sample Quantile(%v) = %d, want in (bucket lo, max] = (512, 777]", q, v)
+		}
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+// TestHistogramMergeReset covers the snapshot merge used to combine
+// shard snapshots, and collector Reset clearing histograms.
+func TestHistogramMergeReset(t *testing.T) {
+	var a, b Histogram
+	a.Record(100)
+	a.Record(3000)
+	b.Record(200)
+	b.Record(1 << 22)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 4 {
+		t.Errorf("merged Count = %d, want 4", merged.Count)
+	}
+	if merged.SumNs != sa.SumNs+sb.SumNs {
+		t.Errorf("merged SumNs = %d, want %d", merged.SumNs, sa.SumNs+sb.SumNs)
+	}
+	if merged.MaxNs != 1<<22 {
+		t.Errorf("merged MaxNs = %d, want %d", merged.MaxNs, 1<<22)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != sa.Buckets[i]+sb.Buckets[i] {
+			t.Fatalf("merged bucket %d = %d, want %d", i, merged.Buckets[i], sa.Buckets[i]+sb.Buckets[i])
+		}
+	}
+
+	c := &Collector{}
+	c.Observe(HistScan, 1234)
+	c.Observe(HistStageFilter, 99)
+	if s := c.Snapshot(); s.Hists[HistScan].Count != 1 || s.Hists[HistStageFilter].Count != 1 {
+		t.Fatalf("Observe lost samples: %+v %+v", s.Hists[HistScan], s.Hists[HistStageFilter])
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("Reset left histogram state behind")
+	}
+}
+
+// TestObserveNilAndRangeSafe pins the nil-safe contract for the
+// histogram hooks, including out-of-range IDs.
+func TestObserveNilAndRangeSafe(t *testing.T) {
+	var c *Collector
+	c.Observe(HistScan, 100)
+	c.Observe(HistID(-1), 100)
+	c.Observe(NumHists, 100)
+	if h := c.Hist(HistScan); h != (HistSnapshot{}) {
+		t.Errorf("nil collector Hist = %+v, want zero", h)
+	}
+	live := &Collector{}
+	live.Observe(HistID(-1), 100)
+	live.Observe(NumHists+3, 100)
+	if s := live.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("out-of-range Observe mutated collector: %+v", s)
+	}
+}
+
+// TestSampleStage pins the sampling contract of the per-kernel stage
+// hooks: the first call is always sampled (so short runs still
+// produce data), then one in stageSampleEvery; counters are
+// independent per stage; Reset restarts the phase; and a nil
+// collector or out-of-range id never samples.
+func TestSampleStage(t *testing.T) {
+	var nilc *Collector
+	if nilc.SampleStage(HistStageFilter) {
+		t.Error("nil collector sampled")
+	}
+	c := &Collector{}
+	if c.SampleStage(HistID(-1)) || c.SampleStage(NumHists) {
+		t.Error("out-of-range id sampled")
+	}
+	var sampled []int
+	for i := 1; i <= 3*stageSampleEvery; i++ {
+		if c.SampleStage(HistStageFilter) {
+			sampled = append(sampled, i)
+		}
+	}
+	want := []int{1, 1 + stageSampleEvery, 1 + 2*stageSampleEvery}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled calls %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled calls %v, want %v", sampled, want)
+		}
+	}
+	// A stage that has never ticked still samples its first call even
+	// after another stage has advanced — the counters are per-stage.
+	if !c.SampleStage(HistStageGather) {
+		t.Error("first gather call not sampled despite filter activity")
+	}
+	c.Reset()
+	if !c.SampleStage(HistStageFilter) {
+		t.Error("first call after Reset not sampled")
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many
+// goroutines; under -race this validates the lock-free record path.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	c := &Collector{}
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Observe(HistScan, seed*1000+int64(i))
+				c.Observe(HistStageFilter, int64(i))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Hists[HistScan].Count != workers*per {
+		t.Errorf("lost scan samples: %d, want %d", s.Hists[HistScan].Count, workers*per)
+	}
+	if s.Hists[HistStageFilter].Count != workers*per {
+		t.Errorf("lost filter samples: %d, want %d", s.Hists[HistStageFilter].Count, workers*per)
+	}
+	var bucketTotal int64
+	for _, n := range s.Hists[HistScan].Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != workers*per {
+		t.Errorf("bucket total %d != count %d", bucketTotal, workers*per)
+	}
+	if s.Hists[HistScan].MaxNs != 7*1000+per-1 {
+		t.Errorf("MaxNs = %d, want %d", s.Hists[HistScan].MaxNs, 7*1000+per-1)
+	}
+}
+
+// TestHistogramRecordZeroAlloc is the regression guard proving the
+// record path allocates nothing — it runs on every request and every
+// kernel call, so a single allocation would show up on all hot paths.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	c := &Collector{}
+	ns := int64(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Observe(HistScan, ns)
+		ns += 997
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", allocs)
+	}
+	var h Histogram
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(123456)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.SampleStage(HistStageFilter)
+	}); allocs != 0 {
+		t.Fatalf("SampleStage allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestSnapshotStringIncludesHistograms checks the flat lat_*/stage_*
+// metric keys render as valid JSON integers.
+func TestSnapshotStringIncludesHistograms(t *testing.T) {
+	c := &Collector{}
+	c.Observe(HistAgg, 1500)
+	c.Observe(HistStageUnpack, 800)
+	out := c.Snapshot().String()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("snapshot with histograms is not valid JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{
+		"lat_agg_count", "lat_agg_p50_ns", "lat_agg_p95_ns", "lat_agg_p99_ns", "lat_agg_max_ns",
+		"stage_unpack_count", "stage_unpack_p50_ns", "lat_scan_count",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("key %q missing from snapshot JSON", key)
+		}
+	}
+	if m["lat_agg_count"].(float64) != 1 {
+		t.Errorf("lat_agg_count = %v, want 1", m["lat_agg_count"])
+	}
+	if m["lat_agg_max_ns"].(float64) != 1500 {
+		t.Errorf("lat_agg_max_ns = %v, want 1500", m["lat_agg_max_ns"])
+	}
+	if !strings.Contains(out, `"stage_http_write_count":0`) {
+		t.Error("zero histograms should still render (stable schema)")
+	}
+}
+
+// TestHistNames pins the stable metric-name mapping.
+func TestHistNames(t *testing.T) {
+	if HistName(HistScan) != "lat_scan" || HistName(HistStageFilter) != "stage_filter" {
+		t.Errorf("HistName mapping changed: %q %q", HistName(HistScan), HistName(HistStageFilter))
+	}
+	if HistName(HistID(-2)) != "unknown" || HistName(NumHists) != "unknown" {
+		t.Error("out-of-range HistName should be \"unknown\"")
+	}
+	seen := map[string]bool{}
+	for id := HistID(0); id < NumHists; id++ {
+		n := HistName(id)
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("hist %d has bad or duplicate name %q", id, n)
+		}
+		seen[n] = true
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) & 0xffff)
+	}
+}
+
+func BenchmarkCollectorObserve(b *testing.B) {
+	c := &Collector{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe(HistScan, int64(i)&0xffff)
+	}
+}

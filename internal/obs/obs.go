@@ -77,7 +77,13 @@ type Collector struct {
 	serverBytesIn  atomic.Int64 // request payload bytes read (ingest)
 	serverBytesOut atomic.Int64 // response payload bytes written
 	serverScans    atomic.Int64 // scan/agg/count requests served
-	serverScanNs   atomic.Int64 // wall ns spent inside scan/agg/count handlers
+
+	// Latency histograms: per server endpoint and per engine stage.
+	// Durations live here (mergeable distributions with quantiles);
+	// the counters above stay monotonic event counts. The old
+	// server_scan_ns aggregate was retired in favor of the endpoint
+	// histograms, which cover every endpoint symmetrically.
+	hists [NumHists]Histogram
 }
 
 // ---- encode-side hooks ----
@@ -213,6 +219,46 @@ func (c *Collector) RowsSelected(n int) {
 	c.selectedRows.Add(int64(n))
 }
 
+// ScanBatch accumulates the per-vector pushdown counters of one scan
+// loop in plain locals. Filtered scans visit thousands of ~µs vectors
+// per request; recording three atomic counters per vector is a
+// measurable tax on that path, so the loops fold results into a batch
+// and flush once per partition — same totals, amortized cost.
+type ScanBatch struct {
+	Pushdown  int64 // vectors answered in the encoded-integer domain
+	Fallbacks int64 // vectors decoded and filtered in the float domain
+	Rows      int64 // rows selected
+}
+
+// Vector folds one FilterVector/FilterGatherVector result into the
+// batch.
+func (b *ScanBatch) Vector(count int, pushdown bool) {
+	if pushdown {
+		b.Pushdown++
+	} else {
+		b.Fallbacks++
+	}
+	b.Rows += int64(count)
+}
+
+// FlushScanBatch adds the batch to the counters and zeroes it, so one
+// batch can be reused across partitions. No-op on a nil collector (the
+// batch is still zeroed) or an empty batch.
+func (c *Collector) FlushScanBatch(b *ScanBatch) {
+	if c != nil {
+		if b.Pushdown != 0 {
+			c.pushdownVectors.Add(b.Pushdown)
+		}
+		if b.Fallbacks != 0 {
+			c.pushdownFallbacks.Add(b.Fallbacks)
+		}
+		if b.Rows != 0 {
+			c.selectedRows.Add(b.Rows)
+		}
+	}
+	*b = ScanBatch{}
+}
+
 // MorselClaim records one partition claimed by a scan worker.
 func (c *Collector) MorselClaim() {
 	if c == nil {
@@ -304,14 +350,14 @@ func (c *Collector) ServerBytesOut(n int64) {
 	c.serverBytesOut.Add(n)
 }
 
-// ServerScan records one served scan/agg/count request taking ns wall
-// time end-to-end inside the handler.
-func (c *Collector) ServerScan(ns int64) {
+// ServerScanned records one served scan/agg/count request. Durations
+// are no longer folded into a counter here — the per-endpoint latency
+// histograms (Observe with HistAgg/HistCount/HistScan) carry them.
+func (c *Collector) ServerScanned() {
 	if c == nil {
 		return
 	}
 	c.serverScans.Add(1)
-	c.serverScanNs.Add(ns)
 }
 
 // ---- snapshot ----
@@ -357,7 +403,9 @@ type Snapshot struct {
 	ServerBytesIn  int64
 	ServerBytesOut int64
 	ServerScans    int64
-	ServerScanNs   int64
+
+	// Hists[id] is the snapshot of latency histogram id (see HistID).
+	Hists [NumHists]HistSnapshot
 }
 
 // Snapshot copies the counters. A nil Collector yields a zero Snapshot.
@@ -400,7 +448,9 @@ func (c *Collector) Snapshot() Snapshot {
 	s.ServerBytesIn = c.serverBytesIn.Load()
 	s.ServerBytesOut = c.serverBytesOut.Load()
 	s.ServerScans = c.serverScans.Load()
-	s.ServerScanNs = c.serverScanNs.Load()
+	for i := range s.Hists {
+		s.Hists[i] = c.hists[i].Snapshot()
+	}
 	return s
 }
 
@@ -443,7 +493,9 @@ func (c *Collector) Reset() {
 	c.serverBytesIn.Store(0)
 	c.serverBytesOut.Store(0)
 	c.serverScans.Store(0)
-	c.serverScanNs.Store(0)
+	for i := range c.hists {
+		c.hists[i].reset()
+	}
 }
 
 // EncodeNsPerValue returns the average encode cost in ns/value.
@@ -473,7 +525,9 @@ func (s Snapshot) SkipRate() float64 {
 
 // String renders the snapshot as a JSON object, making Snapshot usable
 // directly as an expvar.Var. Hand-rolled so the package stays free of
-// encoding/json (and of any import beyond sync/atomic, fmt, strings).
+// encoding/json. Histograms surface as flat <name>_{count,sum_ns,
+// p50_ns,p95_ns,p99_ns,max_ns} keys so a name->number metrics consumer
+// picks the quantiles up without knowing the bucket layout.
 func (s Snapshot) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
@@ -514,7 +568,9 @@ func (s Snapshot) String() string {
 	f("server_bytes_in", s.ServerBytesIn)
 	f("server_bytes_out", s.ServerBytesOut)
 	f("server_scans", s.ServerScans)
-	f("server_scan_ns", s.ServerScanNs)
+	for i := range s.Hists {
+		s.Hists[i].writeJSON(&b, histNames[i])
+	}
 	b.WriteByte(',')
 	fmt.Fprintf(&b, "%q:", "bit_width_hist")
 	b.WriteByte('[')

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceNilSafe pins the nil-safe contract: every method usable on
+// the nil trace TraceFrom returns for untraced contexts.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(SpanEngine, 100)
+	tr.AddSince(SpanWrite, time.Now())
+	if s := tr.Spans(); s != ([NumSpans]int64{}) {
+		t.Fatalf("nil trace spans = %v, want zeros", s)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(bare ctx) = %v, want nil", got)
+	}
+}
+
+// TestTraceContextRoundTrip checks WithTrace/TraceFrom and span
+// accumulation, including dropped negative and out-of-range adds.
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace("req-1")
+	if tr.ID != "req-1" {
+		t.Fatalf("ID = %q", tr.ID)
+	}
+	ctx := WithTrace(context.Background(), tr)
+	got := TraceFrom(ctx)
+	if got != tr {
+		t.Fatal("TraceFrom did not return the stored trace")
+	}
+	got.Add(SpanEngine, 100)
+	got.Add(SpanEngine, 50)
+	got.Add(SpanRegistry, 7)
+	got.Add(SpanEngine, -5) // dropped
+	got.Add(Span(-1), 10)   // dropped
+	got.Add(NumSpans, 10)   // dropped
+	s := tr.Spans()
+	if s[SpanEngine] != 150 || s[SpanRegistry] != 7 {
+		t.Fatalf("spans = %v", s)
+	}
+	for i, v := range s {
+		if Span(i) != SpanEngine && Span(i) != SpanRegistry && v != 0 {
+			t.Fatalf("span %s = %d, want 0", SpanName(Span(i)), v)
+		}
+	}
+}
+
+// TestTraceGeneratedID checks NewTrace invents an ID when the client
+// sent none, and that IDs do not collide trivially.
+func TestTraceGeneratedID(t *testing.T) {
+	a, b := NewTrace(""), NewTrace("")
+	if len(a.ID) != 16 || len(b.ID) != 16 {
+		t.Fatalf("generated IDs %q / %q, want 16 hex chars", a.ID, b.ID)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("two generated IDs collided: %q", a.ID)
+	}
+	if a.Start.IsZero() {
+		t.Fatal("NewTrace left Start zero")
+	}
+}
+
+// TestTraceConcurrentAdd validates that morsel-parallel workers can
+// report into one trace concurrently (run under -race).
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := NewTrace("")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Add(SpanEngine, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Spans()[SpanEngine]; got != workers*per*3 {
+		t.Fatalf("concurrent adds lost updates: %d, want %d", got, workers*per*3)
+	}
+}
+
+func TestSpanNames(t *testing.T) {
+	if SpanName(SpanAdmission) != "admission" || SpanName(SpanEngine) != "engine" {
+		t.Error("span name mapping changed")
+	}
+	if SpanName(Span(-1)) != "unknown" || SpanName(NumSpans) != "unknown" {
+		t.Error("out-of-range SpanName should be \"unknown\"")
+	}
+	seen := map[string]bool{}
+	for s := Span(0); s < NumSpans; s++ {
+		n := SpanName(s)
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("span %d has bad or duplicate name %q", s, n)
+		}
+		seen[n] = true
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/goalp/alp"
 	"github.com/goalp/alp/client"
 	"github.com/goalp/alp/internal/engine"
 	"github.com/goalp/alp/internal/format"
@@ -31,7 +32,27 @@ func benchColumn(b *testing.B) (*client.Client, *engine.Relation, *format.Column
 // BenchmarkAggServed measures a filtered aggregate through the full
 // HTTP path: predicate parsing, pushdown scan, JSON response.
 func BenchmarkAggServed(b *testing.B) {
+	alp.DisableStats()
 	cl, _, _ := benchColumn(b)
+	pred := client.Between(80, 160)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Agg(ctx, "bench", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggServedObsOn is the same served aggregate with the full
+// observability layer recording: endpoint latency histograms, sampled
+// stage histograms and the structured access path. The EXPERIMENTS.md
+// obs-on/off table comes from this pair; the delta is the end-to-end
+// cost of deep observability on a served workload.
+func BenchmarkAggServedObsOn(b *testing.B) {
+	cl, _, _ := benchColumn(b)
+	alp.EnableStats()
+	b.Cleanup(alp.DisableStats)
 	pred := client.Between(80, 160)
 	ctx := context.Background()
 	b.ResetTimer()
@@ -56,7 +77,26 @@ func BenchmarkAggInProcess(b *testing.B) {
 // BenchmarkScanServed streams qualifying rows back over HTTP as raw
 // little-endian float64s.
 func BenchmarkScanServed(b *testing.B) {
+	alp.DisableStats()
 	cl, _, _ := benchColumn(b)
+	pred := client.Between(80, 160)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Scan(ctx, "bench", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanServedObsOn repeats the served scan with the collector
+// on — the worst case for the observability layer, since the scan path
+// additionally samples per-write HTTP histograms and per-vector stage
+// kernels.
+func BenchmarkScanServedObsOn(b *testing.B) {
+	cl, _, _ := benchColumn(b)
+	alp.EnableStats()
+	b.Cleanup(alp.DisableStats)
 	pred := client.Between(80, 160)
 	ctx := context.Background()
 	b.ResetTimer()

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goalp/alp"
+	"github.com/goalp/alp/client"
+)
+
+// syncBuffer is an io.Writer tests can read while handlers are still
+// writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestEndpointLatencyHistograms drives every endpoint class through
+// the client and checks /metrics reports non-zero latency quantiles
+// for each — the flat lat_* keys the collector's histograms render —
+// plus samples in the engine-stage histograms the requests exercised.
+func TestEndpointLatencyHistograms(t *testing.T) {
+	alp.EnableStats()
+	defer alp.DisableStats()
+	alp.ResetStats()
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(4096, 21)
+	if _, err := cl.Ingest(ctx, "h", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// A predicate that cuts through the first vector's range, so at
+	// least one vector is partially selected and the fused
+	// unpack+compare kernel must run (full or empty vectors are
+	// answered from zone maps alone).
+	lo, hi := values[0], values[0]
+	for _, v := range values[:1024] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if _, err := cl.Agg(ctx, "h", client.GE((lo+hi)/2)); err != nil {
+		t.Fatalf("agg: %v", err)
+	}
+	if _, err := cl.Count(ctx, "h", client.LE(150)); err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	if _, err := cl.Scan(ctx, "h", client.Between(40, 160)); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if _, err := cl.Values(ctx, "h"); err != nil {
+		t.Fatalf("values: %v", err)
+	}
+	if _, err := cl.Info(ctx, "h"); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, ep := range []string{"lat_ingest", "lat_agg", "lat_count", "lat_scan", "lat_data", "lat_meta"} {
+		if m[ep+"_count"] < 1 {
+			t.Errorf("%s_count = %d, want >= 1", ep, m[ep+"_count"])
+		}
+		if m[ep+"_p50_ns"] <= 0 {
+			t.Errorf("%s_p50_ns = %d, want > 0", ep, m[ep+"_p50_ns"])
+		}
+		if m[ep+"_p99_ns"] <= 0 {
+			t.Errorf("%s_p99_ns = %d, want > 0", ep, m[ep+"_p99_ns"])
+		}
+		if m[ep+"_p99_ns"] < m[ep+"_p50_ns"] {
+			t.Errorf("%s: p99 %d < p50 %d", ep, m[ep+"_p99_ns"], m[ep+"_p50_ns"])
+		}
+		if m[ep+"_max_ns"] < m[ep+"_p99_ns"] {
+			t.Errorf("%s: max %d < p99 %d", ep, m[ep+"_max_ns"], m[ep+"_p99_ns"])
+		}
+	}
+	// The requests above did real codec work: the ingest encoded
+	// row-groups, agg/count/scan ran the fused filter kernel, and the
+	// scan's response writes were sampled.
+	for _, st := range []string{"stage_encode", "stage_filter", "stage_http_write"} {
+		if m[st+"_count"] < 1 {
+			t.Errorf("%s_count = %d, want >= 1", st, m[st+"_count"])
+		}
+	}
+}
+
+// TestAccessLogAndSlowQuery checks the structured logging contract: a
+// request carrying X-Alp-Request-Id yields an access-log line with
+// that ID whose span durations sum to roughly the request wall time,
+// and (over the threshold — here everything) the same line lands in
+// the slow-query log marked slow.
+func TestAccessLogAndSlowQuery(t *testing.T) {
+	var access, slowLog syncBuffer
+	srv := New(Options{
+		AccessLog:          &access,
+		SlowQueryLog:       &slowLog,
+		SlowQueryThreshold: time.Nanosecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	if _, err := cl.Ingest(ctx, "logged", dataset(4096, 31)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	const reqID = "test-req-0042"
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/columns/logged/scan?ge=50", nil)
+	req.Header.Set(RequestIDHeader, reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("scan returned no rows")
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != reqID {
+		t.Errorf("response %s = %q, want %q (client ID echoed)", RequestIDHeader, got, reqID)
+	}
+
+	// The log line is written in a deferred func racing the response;
+	// poll briefly.
+	line := waitForLine(t, &access, reqID)
+	var rec struct {
+		ID       string           `json:"id"`
+		Method   string           `json:"method"`
+		Path     string           `json:"path"`
+		Status   int              `json:"status"`
+		BytesOut int64            `json:"bytes_out"`
+		DurNs    int64            `json:"dur_ns"`
+		Spans    map[string]int64 `json:"spans"`
+		Slow     bool             `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access-log line is not JSON: %v\n%s", err, line)
+	}
+	if rec.Method != "GET" || rec.Path != "/v1/columns/logged/scan" || rec.Status != 200 {
+		t.Errorf("access record = %+v", rec)
+	}
+	if rec.BytesOut != int64(len(body)) {
+		t.Errorf("bytes_out = %d, body was %d", rec.BytesOut, len(body))
+	}
+	if rec.DurNs <= 0 {
+		t.Fatalf("dur_ns = %d", rec.DurNs)
+	}
+	if len(rec.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, span := range []string{"registry", "engine", "write"} {
+		if rec.Spans[span] <= 0 {
+			t.Errorf("span %q = %d, want > 0 for a scan", span, rec.Spans[span])
+		}
+	}
+	var sum int64
+	for _, ns := range rec.Spans {
+		sum += ns
+	}
+	// "other" absorbs unattributed wall time, so the spans reconstruct
+	// the request duration up to the clock reads between boundaries.
+	if sum < rec.DurNs*9/10 || sum > rec.DurNs*11/10 {
+		t.Errorf("span sum %d not ~ dur_ns %d", sum, rec.DurNs)
+	}
+	if !rec.Slow {
+		t.Error("1ns threshold: the access line should be marked slow")
+	}
+
+	slowLine := waitForLine(t, &slowLog, reqID)
+	if !strings.Contains(slowLine, `"slow":true`) {
+		t.Errorf("slow-query line lacks slow marker: %s", slowLine)
+	}
+}
+
+// waitForLine polls buf until a log line containing token appears.
+func waitForLine(t *testing.T, buf *syncBuffer, token string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(line, token) {
+				return line
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no log line containing %q; log so far:\n%s", token, buf.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLivenessReadinessSplit pins the probe semantics: /healthz stays
+// 200 through a drain (the process is alive) while /readyz flips to
+// 503 the moment draining starts.
+func TestLivenessReadinessSplit(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz before drain = %d", got)
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz before drain = %d", got)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200 (liveness)", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain = %d, want 503 (readiness)", got)
+	}
+}
+
+// TestMetricsColumnStats checks /metrics carries the per-column
+// registry view alongside the counters.
+func TestMetricsColumnStats(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	const n = 4096
+	if _, err := cl.Ingest(ctx, "colstats", dataset(n, 7)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		Columns map[string]ColumnStats `json:"columns"`
+	}
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v\n%s", err, payload)
+	}
+	cs, ok := doc.Columns["colstats"]
+	if !ok {
+		t.Fatalf("columns missing %q: %s", "colstats", payload)
+	}
+	if cs.Values != n {
+		t.Errorf("columns.colstats.values = %d, want %d", cs.Values, n)
+	}
+	if cs.CompressedBytes <= 0 || cs.BitsPerValue <= 0 {
+		t.Errorf("columns.colstats shape = %+v, want non-zero sizes", cs)
+	}
+	if cs.NumRowGroups < 1 || cs.NumVectors != (n+1023)/1024 {
+		t.Errorf("columns.colstats layout = %+v", cs)
+	}
+}

@@ -77,6 +77,44 @@ func (r *Registry) Delete(name string) bool {
 	return ok
 }
 
+// ColumnStats is the per-column registry view exposed on /metrics:
+// the shape numbers an operator needs to judge whether a column's
+// latency profile matches its size and exception rate.
+type ColumnStats struct {
+	Values          int     `json:"values"`
+	NumVectors      int     `json:"num_vectors"`
+	NumRowGroups    int     `json:"num_row_groups"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	BitsPerValue    float64 `json:"bits_per_value"`
+	Exceptions      int     `json:"exceptions"`
+	UsedRD          bool    `json:"used_rd"`
+}
+
+// Stats returns the shape statistics of every registered column, keyed
+// by name. Columns are immutable after Put, so the walk only holds the
+// read lock to copy pointers.
+func (r *Registry) Stats() map[string]ColumnStats {
+	r.mu.RLock()
+	cols := make([]*storedColumn, 0, len(r.cols))
+	for _, sc := range r.cols {
+		cols = append(cols, sc)
+	}
+	r.mu.RUnlock()
+	out := make(map[string]ColumnStats, len(cols))
+	for _, sc := range cols {
+		out[sc.name] = ColumnStats{
+			Values:          sc.col.N,
+			NumVectors:      sc.col.NumVectors(),
+			NumRowGroups:    len(sc.col.RowGroups),
+			CompressedBytes: len(sc.data),
+			BitsPerValue:    sc.col.BitsPerValue(),
+			Exceptions:      sc.col.Exceptions(),
+			UsedRD:          sc.col.UsedRD(),
+		}
+	}
+	return out
+}
+
 // Names returns the registered column names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

@@ -16,8 +16,20 @@
 //	GET    /v1/columns/{name}/scan       stream qualifying rows (little-endian float64s)
 //	GET    /v1/columns/{name}/data       the full compressed column stream
 //	GET    /v1/columns/{name}/vectors/{i} one encoded vector as a standalone envelope
-//	GET    /metrics                      codec + service counters (JSON, same shape as alpbench -metrics)
-//	GET    /healthz                      200 while serving, 503 while draining
+//	GET    /metrics                      codec + service counters, latency quantiles, per-column stats (JSON)
+//	GET    /healthz                      liveness: 200 whenever the process answers HTTP
+//	GET    /readyz                       readiness: 200 while accepting work, 503 while draining
+//
+// Observability: every admitted request carries a request ID — taken
+// from the X-Alp-Request-Id header, generated when absent, and echoed
+// back on the response — and an obs.Trace threaded through the request
+// context, so the engine and codec layers attribute their time to
+// per-request spans (admission, registry, read, encode, engine,
+// write). Each endpoint lands one sample in a log-bucketed latency
+// histogram exposed on /metrics as lat_*_p50_ns/_p95_ns/_p99_ns keys.
+// When Options.AccessLog is set, every request emits one structured
+// JSON line; when Options.SlowQueryLog is set, requests slower than
+// SlowQueryThreshold emit the same line marked slow.
 //
 // Predicates come from query parameters — lo, hi, ge, gt, le, lt, eq —
 // each parsed with strconv.ParseFloat and reduced to a closed interval
@@ -75,6 +87,15 @@ type Options struct {
 	// DefaultThreads is the scan parallelism when a request does not
 	// pass ?threads=. 0 means 1 — the bit-identical-to-serial setting.
 	DefaultThreads int
+	// AccessLog, when set, receives one JSON line per admitted request
+	// (request ID, method, path, status, bytes, duration, span
+	// breakdown). Writes are serialized by the server.
+	AccessLog io.Writer
+	// SlowQueryLog, when set, receives the same JSON line for requests
+	// whose wall time reaches SlowQueryThreshold, marked "slow":true.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the slow-query cutoff. 0 means 250ms.
+	SlowQueryThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -93,8 +114,16 @@ func (o Options) withDefaults() Options {
 	if o.DefaultThreads <= 0 {
 		o.DefaultThreads = 1
 	}
+	if o.SlowQueryThreshold <= 0 {
+		o.SlowQueryThreshold = 250 * time.Millisecond
+	}
 	return o
 }
+
+// RequestIDHeader carries the request ID: clients may set it to
+// correlate their own logs with the server's; the server generates one
+// when absent and always echoes the effective ID on the response.
+const RequestIDHeader = "X-Alp-Request-Id"
 
 // maxThreads caps per-request scan parallelism so a client cannot ask
 // one request to fan out unboundedly.
@@ -110,6 +139,9 @@ type Server struct {
 
 	gate drainGate
 
+	// logMu serializes access-log and slow-query-log writes.
+	logMu sync.Mutex
+
 	// testHook, when non-nil, runs inside scan/agg handlers after
 	// admission — tests use it to hold a request in flight.
 	testHook func()
@@ -123,17 +155,18 @@ func New(opts Options) *Server {
 	}
 	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/columns/{name}", s.wrap(s.handleIngest))
-	s.mux.HandleFunc("GET /v1/columns", s.wrap(s.handleList))
-	s.mux.HandleFunc("GET /v1/columns/{name}", s.wrap(s.handleInfo))
-	s.mux.HandleFunc("DELETE /v1/columns/{name}", s.wrap(s.handleDelete))
-	s.mux.HandleFunc("GET /v1/columns/{name}/agg", s.wrap(s.handleAgg))
-	s.mux.HandleFunc("GET /v1/columns/{name}/count", s.wrap(s.handleCount))
-	s.mux.HandleFunc("GET /v1/columns/{name}/scan", s.wrap(s.handleScan))
-	s.mux.HandleFunc("GET /v1/columns/{name}/data", s.wrap(s.handleData))
-	s.mux.HandleFunc("GET /v1/columns/{name}/vectors/{i}", s.wrap(s.handleVector))
+	s.mux.HandleFunc("POST /v1/columns/{name}", s.wrap(obs.HistIngest, s.handleIngest))
+	s.mux.HandleFunc("GET /v1/columns", s.wrap(obs.HistMeta, s.handleList))
+	s.mux.HandleFunc("GET /v1/columns/{name}", s.wrap(obs.HistMeta, s.handleInfo))
+	s.mux.HandleFunc("DELETE /v1/columns/{name}", s.wrap(obs.HistMeta, s.handleDelete))
+	s.mux.HandleFunc("GET /v1/columns/{name}/agg", s.wrap(obs.HistAgg, s.handleAgg))
+	s.mux.HandleFunc("GET /v1/columns/{name}/count", s.wrap(obs.HistCount, s.handleCount))
+	s.mux.HandleFunc("GET /v1/columns/{name}/scan", s.wrap(obs.HistScan, s.handleScan))
+	s.mux.HandleFunc("GET /v1/columns/{name}/data", s.wrap(obs.HistData, s.handleData))
+	s.mux.HandleFunc("GET /v1/columns/{name}/vectors/{i}", s.wrap(obs.HistVectors, s.handleVector))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // never shed: always observable
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
@@ -211,10 +244,14 @@ func (g *drainGate) isDraining() bool {
 
 // wrap applies the admission pipeline to a handler: drain gate (503),
 // concurrency limiter (429 + Retry-After), request deadline, and
-// response byte accounting.
-func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// response byte accounting. Admitted requests also get the
+// observability envelope: a Trace (request ID in, span accumulators
+// through the context, ID echoed out), one sample in the endpoint's
+// latency histogram, and a structured log line when logging is on.
+func (s *Server) wrap(ep obs.HistID, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		o := obs.Active()
+		start := time.Now()
 		if !s.gate.enter() {
 			o.ServerRefused()
 			w.Header().Set("Connection", "close")
@@ -234,7 +271,10 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFu
 			return
 		}
 		o.ServerRequest()
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		tr := obs.NewTrace(r.Header.Get(RequestIDHeader))
+		tr.Start = start
+		w.Header().Set(RequestIDHeader, tr.ID)
+		ctx, cancel := context.WithTimeout(obs.WithTrace(r.Context(), tr), s.opts.RequestTimeout)
 		defer cancel()
 		// Bound the raw connection I/O to the same deadline. The context
 		// alone is only checked between blocking calls: a client trickling
@@ -252,20 +292,105 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFu
 		// clear it so a later request on this connection isn't poisoned.
 		defer rc.SetWriteDeadline(time.Time{})
 		cw := &countingWriter{ResponseWriter: w}
-		// Deferred (not sequential) so bytes are counted even when a
-		// handler aborts the connection with http.ErrAbortHandler.
-		defer func() { o.ServerBytesOut(cw.n) }()
+		tr.AddSince(obs.SpanAdmission, start)
+		// Deferred (not sequential) so the byte count, the endpoint
+		// latency sample and the log line all land even when a handler
+		// aborts the connection with http.ErrAbortHandler.
+		defer func() {
+			dur := time.Since(start)
+			o.ServerBytesOut(cw.n)
+			o.Observe(ep, dur.Nanoseconds())
+			s.logRequest(r, tr, cw, dur)
+		}()
 		h(cw, r.WithContext(ctx))
 	}
 }
 
-// countingWriter counts response payload bytes for the bytes-out metric.
+// accessRecord is the JSON shape of one access-log (and slow-query)
+// line. Spans holds the per-stage durations in nanoseconds, plus an
+// "other" entry for wall time no span claimed, so the values sum to
+// DurNs (modulo clock reads between span boundaries).
+type accessRecord struct {
+	Time     string           `json:"ts"`
+	ID       string           `json:"id"`
+	Method   string           `json:"method"`
+	Path     string           `json:"path"`
+	Status   int              `json:"status"`
+	BytesOut int64            `json:"bytes_out"`
+	DurNs    int64            `json:"dur_ns"`
+	Spans    map[string]int64 `json:"spans"`
+	Slow     bool             `json:"slow,omitempty"`
+}
+
+// logRequest emits the structured line for one finished request to the
+// access log and, past the threshold, to the slow-query log. Both
+// writers share one mutex so concurrent handlers never interleave
+// lines.
+func (s *Server) logRequest(r *http.Request, tr *obs.Trace, cw *countingWriter, dur time.Duration) {
+	slow := s.opts.SlowQueryLog != nil && dur >= s.opts.SlowQueryThreshold
+	if s.opts.AccessLog == nil && !slow {
+		return
+	}
+	spans := tr.Spans()
+	m := make(map[string]int64, len(spans)+1)
+	var attributed int64
+	for i, ns := range spans {
+		if ns > 0 {
+			m[obs.SpanName(obs.Span(i))] = ns
+			attributed += ns
+		}
+	}
+	if rest := dur.Nanoseconds() - attributed; rest > 0 {
+		m["other"] = rest
+	}
+	status := cw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	line, err := json.Marshal(accessRecord{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		ID:       tr.ID,
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Status:   status,
+		BytesOut: cw.n,
+		DurNs:    dur.Nanoseconds(),
+		Spans:    m,
+		Slow:     slow,
+	})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.opts.AccessLog != nil {
+		s.opts.AccessLog.Write(line)
+	}
+	if slow {
+		s.opts.SlowQueryLog.Write(line)
+	}
+}
+
+// countingWriter counts response payload bytes for the bytes-out
+// metric and captures the status code for the access log.
 type countingWriter struct {
 	http.ResponseWriter
-	n int64
+	n      int64
+	status int
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *countingWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
 	n, err := w.ResponseWriter.Write(p)
 	w.n += int64(n)
 	return n, err
@@ -284,10 +409,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// getColumn resolves {name} to a stored column or writes a 404.
+// getColumn resolves {name} to a stored column or writes a 404. The
+// lookup is attributed to the request's registry span.
 func (s *Server) getColumn(w http.ResponseWriter, r *http.Request) (*storedColumn, bool) {
+	tr := obs.TraceFrom(r.Context())
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
 	name := r.PathValue("name")
 	sc, ok := s.reg.Get(name)
+	tr.AddSince(obs.SpanRegistry, start)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no column %q", name))
 		return nil, false
@@ -399,6 +531,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	o := obs.Active()
+	tr := obs.TraceFrom(r.Context())
+	readStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	wr := alp.NewWriterParallel(alp.WriterOptions{Workers: s.opts.IngestWorkers})
 	// Every error return below must tear down the Writer's encode pool,
@@ -450,9 +584,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("body length not a multiple of 8 (%d trailing bytes)", rem))
 		return
 	}
+	// Span accounting: the read loop above overlaps the Writer's encode
+	// pool, so SpanRead is "time to drain the body" and SpanEncode is
+	// only the tail the encoder still owed when the body ended.
+	tr.AddSince(obs.SpanRead, readStart)
 	o.ServerBytesIn(total)
+	encStart := time.Now()
 	data := wr.Close()
+	tr.AddSince(obs.SpanEncode, encStart)
+	regStart := time.Now()
 	sc, err := s.reg.Put(name, data)
+	tr.AddSince(obs.SpanRegistry, regStart)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -524,9 +666,8 @@ func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
 	if s.testHook != nil {
 		s.testHook()
 	}
-	start := time.Now()
-	agg, touched := sc.rel.FilterAgg(threads, pred)
-	obs.Active().ServerScan(time.Since(start).Nanoseconds())
+	agg, touched := sc.rel.FilterAggCtx(r.Context(), threads, pred)
+	obs.Active().ServerScanned()
 	writeJSON(w, http.StatusOK, aggResponse{
 		Sum:     fmtFloat(agg.Sum),
 		Count:   agg.Count,
@@ -553,9 +694,8 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	start := time.Now()
-	count := sc.rel.FilterCount(threads, pred)
-	obs.Active().ServerScan(time.Since(start).Nanoseconds())
+	count := sc.rel.FilterCountCtx(r.Context(), threads, pred)
+	obs.Active().ServerScanned()
 	writeJSON(w, http.StatusOK, map[string]any{"count": count, "threads": threads})
 }
 
@@ -587,7 +727,6 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if s.testHook != nil {
 		s.testHook()
 	}
-	start := time.Now()
 	w.Header().Set("Trailer", ScanRowsTrailer)
 	w.Header().Set("Content-Type", "application/x-alp-f64le")
 	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
@@ -598,11 +737,19 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	col := sc.col
 	skipped, rows := 0, 0
 	o := obs.Active()
+	tr := obs.TraceFrom(r.Context())
+	timed := o != nil || tr != nil
+	var engineNs, writeNs int64
+	var batch obs.ScanBatch
 	defer func() {
 		// Runs on the abort panic too, so counters stay coherent.
 		o.VectorsSkipped(skipped)
-		o.ServerScan(time.Since(start).Nanoseconds())
+		o.FlushScanBatch(&batch)
+		o.ServerScanned()
+		tr.Add(obs.SpanEngine, engineNs)
+		tr.Add(obs.SpanWrite, writeNs)
 	}()
+	var t0 time.Time
 	for i := 0; i < col.NumVectors(); i++ {
 		if r.Context().Err() != nil {
 			// Deadline (or client gone) mid-stream: tear the connection
@@ -614,15 +761,30 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			skipped++
 			continue
 		}
-		n, _ := col.FilterGatherVector(i, pred.Lo, pred.Hi, sel[:], out, scratch)
+		if timed {
+			t0 = time.Now()
+		}
+		n, pd := col.FilterGatherVector(i, pred.Lo, pred.Hi, sel[:], out, scratch)
+		batch.Vector(n, pd)
+		if timed {
+			engineNs += time.Since(t0).Nanoseconds()
+		}
 		if n == 0 {
 			continue
 		}
 		for j := 0; j < n; j++ {
 			binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(out[j]))
 		}
+		if timed {
+			t0 = time.Now()
+		}
 		if _, err := w.Write(raw[:n*8]); err != nil {
 			panic(http.ErrAbortHandler)
+		}
+		if timed {
+			ns := time.Since(t0).Nanoseconds()
+			writeNs += ns
+			o.Observe(obs.HistStageHTTPWrite, ns)
 		}
 		rows += n
 	}
@@ -665,18 +827,33 @@ func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the codec + service counter snapshot as JSON —
-// the same shape alpbench -metrics exposes, including the server_*
-// counters this package reports. Not gated: a draining or saturated
-// server must stay observable.
+// the same shape alpbench -metrics exposes (counters plus the
+// lat_*/stage_* latency-histogram keys), spliced with a "columns"
+// object holding per-column registry stats. Not gated: a draining or
+// saturated server must stay observable.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, obs.Active().Snapshot().String())
+	snap := obs.Active().Snapshot().String()
+	if cols, err := json.Marshal(s.reg.Stats()); err == nil && strings.HasSuffix(snap, "}") {
+		snap = snap[:len(snap)-1] + `,"columns":` + string(cols) + "}"
+	}
+	fmt.Fprintln(w, snap)
 }
 
+// handleHealth is the liveness probe: 200 whenever the process can
+// answer HTTP at all — a draining server is still alive, so restarts
+// keyed to this probe do not kill a graceful shutdown mid-drain.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady is the readiness probe: it flips to 503 the moment a
+// drain starts, so load balancers stop routing new work while
+// in-flight requests finish.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.gate.isDraining() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }

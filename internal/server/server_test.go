@@ -406,13 +406,40 @@ func TestClientRetriesShedLoad(t *testing.T) {
 		t.Fatalf("agg did not survive shed load: %v", err)
 	}
 
-	// With retries disabled the same shedding is a hard error.
+	// The client's own counters saw the shedding: the ingest consumed
+	// one synthetic failure without shedding (only /agg sheds), so the
+	// agg took one 429, one retry, and real backoff time.
+	st := cl.Stats()
+	if st.Calls != 2 { // ingest + agg
+		t.Errorf("Stats().Calls = %d, want 2", st.Calls)
+	}
+	if st.Attempts != 3 { // ingest, agg x2
+		t.Errorf("Stats().Attempts = %d, want 3", st.Attempts)
+	}
+	if st.Retries != 1 {
+		t.Errorf("Stats().Retries = %d, want 1", st.Retries)
+	}
+	if st.Shed != 1 {
+		t.Errorf("Stats().Shed = %d, want 1", st.Shed)
+	}
+	if st.ServerErrors != 0 || st.TransportErrors != 0 {
+		t.Errorf("Stats() = %+v, want no server/transport errors", st)
+	}
+	if st.BackoffNs <= 0 {
+		t.Errorf("Stats().BackoffNs = %d, want > 0 after retrying", st.BackoffNs)
+	}
+
+	// With retries disabled the same shedding is a hard error, counted
+	// but never slept on.
 	mu.Lock()
 	fails = 2
 	mu.Unlock()
 	noRetry := client.New(ts.URL, client.WithRetries(0))
 	if _, err := noRetry.Agg(ctx, "col", client.All()); err == nil {
 		t.Error("agg with retries disabled did not error under shed load")
+	}
+	if st := noRetry.Stats(); st.Shed != 1 || st.Retries != 0 || st.BackoffNs != 0 {
+		t.Errorf("no-retry Stats() = %+v, want one shed, no retries, no backoff", st)
 	}
 }
 

@@ -56,14 +56,16 @@ type Stats struct {
 	PipelineClaims  int64 // row-groups claimed by pipeline workers
 	PipelineStalls  int64 // submissions that blocked on a full window
 
-	// Column service (alpserved / internal/server).
+	// Column service (alpserved / internal/server). Request durations
+	// live in the latency histograms (ReadLatencies / the /metrics
+	// lat_* keys), not here: the old ServerScanNs aggregate was retired
+	// when per-endpoint histograms replaced it.
 	ServerRequests int64 // HTTP requests admitted by the service
 	ServerSheds    int64 // requests shed with 429 by the concurrency limiter
 	ServerRefused  int64 // requests refused with 503 while draining
 	ServerBytesIn  int64 // request payload bytes read (ingest)
 	ServerBytesOut int64 // response payload bytes written
 	ServerScans    int64 // scan/agg/count requests served
-	ServerScanNs   int64 // wall ns spent in scan/agg/count handlers
 }
 
 // EnableStats turns on global metrics collection. Instrumented hot
@@ -120,7 +122,6 @@ func statsFromSnapshot(s obs.Snapshot) Stats {
 		ServerBytesIn:         s.ServerBytesIn,
 		ServerBytesOut:        s.ServerBytesOut,
 		ServerScans:           s.ServerScans,
-		ServerScanNs:          s.ServerScanNs,
 	}
 }
 
@@ -162,8 +163,19 @@ func (s Stats) SkipRate() float64 {
 // String renders the snapshot as JSON, so a Stats value satisfies
 // expvar.Var and can be published with expvar.Publish without pulling
 // expvar (and its /debug/vars side effect) into this package.
+//
+// A Stats holds only the counters, so the lat_*/stage_* histogram keys
+// render as zero here; use MetricsJSON for the full picture.
 func (s Stats) String() string {
 	return statsToSnapshot(s).String()
+}
+
+// MetricsJSON renders the complete live metrics snapshot — counters
+// plus the latency histograms' flat lat_*/stage_* quantile keys — as
+// the JSON object served by /metrics endpoints. With collection
+// disabled it returns an all-zero snapshot.
+func MetricsJSON() string {
+	return obs.Active().Snapshot().String()
 }
 
 func statsToSnapshot(s Stats) obs.Snapshot {
@@ -200,17 +212,41 @@ func statsToSnapshot(s Stats) obs.Snapshot {
 		ServerBytesIn:         s.ServerBytesIn,
 		ServerBytesOut:        s.ServerBytesOut,
 		ServerScans:           s.ServerScans,
-		ServerScanNs:          s.ServerScanNs,
 	}
 }
 
-// ServerScanNsPerRequest returns the average wall time of a served
-// scan/agg/count request in ns.
-func (s Stats) ServerScanNsPerRequest() float64 {
-	if s.ServerScans == 0 {
-		return 0
+// LatencyStats summarizes one latency distribution tracked by the
+// collector: a server endpoint (lat_*) or an engine stage (stage_*).
+// All durations are nanoseconds; quantiles are log-bucket estimates
+// (exact to within 2x, clamped to the observed max).
+type LatencyStats struct {
+	Name  string
+	Count int64
+	SumNs int64
+	P50   int64
+	P95   int64
+	P99   int64
+	Max   int64
+}
+
+// ReadLatencies snapshots every latency histogram, in stable order.
+// With collection disabled it returns all-zero entries.
+func ReadLatencies() []LatencyStats {
+	snap := obs.Active().Snapshot()
+	out := make([]LatencyStats, obs.NumHists)
+	for i := range out {
+		h := snap.Hists[i]
+		out[i] = LatencyStats{
+			Name:  obs.HistName(obs.HistID(i)),
+			Count: h.Count,
+			SumNs: h.SumNs,
+			P50:   h.P50(),
+			P95:   h.P95(),
+			P99:   h.P99(),
+			Max:   h.MaxNs,
+		}
 	}
-	return float64(s.ServerScanNs) / float64(s.ServerScans)
+	return out
 }
 
 // ---- per-column static introspection ----

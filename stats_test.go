@@ -242,6 +242,35 @@ func TestStatsStringIsExpvarJSON(t *testing.T) {
 	})
 }
 
+// TestMetricsJSONIncludesLiveHistograms guards the /metrics path used
+// by alpbench: a Stats value carries only the counters, so rendering
+// ReadStats().String() silently zeroes every lat_*/stage_* key.
+// MetricsJSON must read the live collector and include real histogram
+// samples alongside the counters.
+func TestMetricsJSONIncludesLiveHistograms(t *testing.T) {
+	withStats(t, func() {
+		Encode(decimalColumn(2))
+		var m map[string]any
+		if err := json.Unmarshal([]byte(MetricsJSON()), &m); err != nil {
+			t.Fatalf("MetricsJSON() is not valid JSON: %v", err)
+		}
+		if m["vectors_encoded"].(float64) != 2 {
+			t.Fatalf("vectors_encoded = %v, want 2", m["vectors_encoded"])
+		}
+		if m["stage_encode_count"].(float64) == 0 {
+			t.Fatal("stage_encode_count = 0: MetricsJSON dropped the live histograms")
+		}
+		if m["stage_encode_p50_ns"].(float64) <= 0 {
+			t.Fatalf("stage_encode_p50_ns = %v, want > 0", m["stage_encode_p50_ns"])
+		}
+	})
+	DisableStats()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(MetricsJSON()), &m); err != nil {
+		t.Fatalf("disabled MetricsJSON() is not valid JSON: %v", err)
+	}
+}
+
 func TestColumnStats(t *testing.T) {
 	values := decimalColumn(3)
 	col := Compress(values)
