@@ -27,21 +27,24 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # The dated core-throughput snapshot: encode/decode/filter MV/s over
-# three dataset shapes, written to BENCH_core.json. Non-gating — CI
-# uploads it as an artifact so performance drift is a diff, not a
-# build break.
+# three dataset shapes, plus the served_scan selectivity sweep
+# (in-process vs compressed ALPS wire vs raw float64s over loopback
+# HTTP), written to BENCH_core.json. Non-gating — CI uploads it as an
+# artifact so performance drift is a diff, not a build break.
 bench-snapshot:
 	$(GO) run ./cmd/alpbench -snapshot BENCH_core.json
 	@cat BENCH_core.json
 
 # Short coverage-guided fuzzing runs on top of the checked-in seed
 # corpora (testdata/fuzz/): round-trip losslessness on arbitrary bit
-# patterns, no-panic + ErrCorrupt on mutated streams, and differential
-# pushdown-vs-naive filtered aggregates under fuzzed predicates.
+# patterns, no-panic + ErrCorrupt on mutated streams, differential
+# pushdown-vs-naive filtered aggregates under fuzzed predicates, and
+# the scan-stream frame decoder (length/CRC/bitmap-cardinality lies).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 13s .
 	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 13s .
 	$(GO) test -run '^$$' -fuzz FuzzPushdownAgainstNaive -fuzztime 13s .
+	$(GO) test -run '^$$' -fuzz FuzzScanFrameDecode -fuzztime 13s .
 
 # End-to-end smoke of the column service: build the real alpserved
 # binary, boot it on an ephemeral port, run an ingest -> scan -> agg
@@ -51,8 +54,9 @@ serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/alpserved
 
 # The server integration tests (shedding, drain, retry, end-to-end
-# bit-identity) under the race detector — the service is the most
-# concurrent code in the repo.
+# bit-identity, and the served-scan differential battery with its
+# selectivity sweep × edge datasets) under the race detector — the
+# service is the most concurrent code in the repo.
 server-race:
 	$(GO) test -race -count=1 ./internal/server ./client ./cmd/alpserved
 

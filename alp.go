@@ -33,6 +33,7 @@ package alp
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"github.com/goalp/alp/internal/format"
 	"github.com/goalp/alp/internal/pipeline"
@@ -263,4 +264,43 @@ func (c *Column) EncodedVector(i int) ([]byte, error) {
 // returns the number of values written.
 func DecodeEncodedVector(data []byte, dst []float64) (int, error) {
 	return format.UnmarshalVector(data, dst, nil)
+}
+
+// ScanStreamContentType is the media type of the selection-aware scan
+// stream (the "ALPS" framed wire format): a client sends it in an
+// Accept header to receive a filtered scan as compressed per-vector
+// frames instead of raw little-endian float64s, and decodes the body
+// with DecodeScanStream.
+const ScanStreamContentType = format.ScanContentType
+
+// BuildScanStream encodes the rows of the column in [lo, hi] as a
+// selection-aware scan stream — the same framed body alpserved streams
+// for Accept: application/x-alp-scan — and returns it with the total
+// row count. Useful for fixtures and offline transport; servers stream
+// frame-at-a-time instead of buffering.
+func (c *Column) BuildScanStream(lo, hi float64) ([]byte, int) {
+	return format.BuildScanStream(c.col, lo, hi)
+}
+
+// DecodeScanStream decodes a complete selection-aware scan stream into
+// the selected rows, in position order, bit-identical to filtering the
+// decoded column locally. Any structural defect — bad magic, truncated
+// or corrupted frame, bitmap/count mismatch — returns an error along
+// with the rows decoded before the defect.
+func DecodeScanStream(data []byte) ([]float64, error) {
+	d, err := format.NewScanDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for {
+		rows, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rows...)
+	}
 }

@@ -156,9 +156,11 @@ func retryable(status int) bool {
 }
 
 // do runs one API call with retries. body may be nil; it is replayed
-// from the byte slice on every attempt. The response body bytes are
-// returned for 2xx responses.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, contentType string) ([]byte, http.Header, error) {
+// from the byte slice on every attempt. accept, when non-empty, is sent
+// as the Accept header on every attempt (content negotiation, e.g. the
+// compressed scan stream). The response body bytes are returned for
+// 2xx responses.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, contentType, accept string) ([]byte, http.Header, error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -182,6 +184,9 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		req.Header.Set(RequestIDHeader, reqID)
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
 		}
 		resp, err := c.hc.Do(req)
 		var wait time.Duration
@@ -396,7 +401,7 @@ func (c *Client) Ingest(ctx context.Context, name string, values []float64) (Col
 	for i, v := range values {
 		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(v))
 	}
-	payload, _, err := c.do(ctx, http.MethodPost, "/v1/columns/"+url.PathEscape(name), nil, body, "application/x-alp-f64le")
+	payload, _, err := c.do(ctx, http.MethodPost, "/v1/columns/"+url.PathEscape(name), nil, body, "application/x-alp-f64le", "")
 	if err != nil {
 		return ColumnInfo{}, err
 	}
@@ -412,7 +417,7 @@ func (c *Client) Ingest(ctx context.Context, name string, values []float64) (Col
 // scan the result is bit-identical to evaluating the same predicate
 // in-process over the same values.
 func (c *Client) Agg(ctx context.Context, name string, p Predicate) (Agg, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/agg", p.query(), nil, "")
+	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/agg", p.query(), nil, "", "")
 	if err != nil {
 		return Agg{}, err
 	}
@@ -436,7 +441,7 @@ func (c *Client) Agg(ctx context.Context, name string, p Predicate) (Agg, error)
 // Count runs SELECT COUNT(*) WHERE p server-side; on pushdown-capable
 // vectors no qualifying row is materialized at all.
 func (c *Client) Count(ctx context.Context, name string, p Predicate) (int64, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/count", p.query(), nil, "")
+	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/count", p.query(), nil, "", "")
 	if err != nil {
 		return 0, err
 	}
@@ -450,18 +455,45 @@ func (c *Client) Count(ctx context.Context, name string, p Predicate) (int64, er
 }
 
 // Scan returns the rows matching p, in position order, filtered
-// server-side and streamed as raw float64s. The server frames
-// completion with a trailing row count (written only when the scan ran
-// to the end) and aborts the connection if its deadline fires
-// mid-stream, so a truncated response surfaces as an error here —
-// never as a silently partial result.
+// server-side, bit-identical to filtering the decoded column locally.
+// It negotiates the compressed selection-aware stream (Accept:
+// application/x-alp-scan): the server ships framed per-vector payloads
+// — stored envelopes with selection bitmaps, re-packed ALP vectors, or
+// raw float64s, whichever is smallest — and the client decodes them
+// with the fused unpack+gather kernels, so wire bytes track compressed
+// size rather than 8 bytes per row. A server that does not speak the
+// compressed encoding answers with raw float64s, which decode the same
+// way ScanRaw does. Either way the server frames completion with a
+// trailing row count (written only when the scan ran to the end) and
+// aborts the connection if its deadline fires mid-stream, so a
+// truncated or corrupted response surfaces as an error here — never as
+// a silently partial result.
 func (c *Client) Scan(ctx context.Context, name string, p Predicate) ([]float64, error) {
-	payload, hdr, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/scan", p.query(), nil, "")
+	return c.scan(ctx, name, p, alp.ScanStreamContentType)
+}
+
+// ScanRaw runs the same server-side filtered scan over the original
+// uncompressed wire encoding: raw little-endian float64s, one per
+// selected row. It exists for old servers and as the differential
+// comparand for the compressed stream.
+func (c *Client) ScanRaw(ctx context.Context, name string, p Predicate) ([]float64, error) {
+	return c.scan(ctx, name, p, "")
+}
+
+func (c *Client) scan(ctx context.Context, name string, p Predicate, accept string) ([]float64, error) {
+	payload, hdr, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/scan", p.query(), nil, "", accept)
 	if err != nil {
 		return nil, err
 	}
-	out, err := decodeF64LE(payload)
-	if err != nil {
+	var out []float64
+	// The response Content-Type — not the request Accept — decides the
+	// decoder, so a server that ignores the negotiation still decodes
+	// correctly.
+	if ct := hdr.Get("Content-Type"); ct == alp.ScanStreamContentType {
+		if out, err = alp.DecodeScanStream(payload); err != nil {
+			return nil, fmt.Errorf("alpserved: scan stream: %w", err)
+		}
+	} else if out, err = decodeF64LE(payload); err != nil {
 		return nil, err
 	}
 	rows := hdr.Get("X-Alp-Scan-Rows")
@@ -477,7 +509,7 @@ func (c *Client) Scan(ctx context.Context, name string, p Predicate) ([]float64,
 // Compressed fetches the column's full ALP stream — the bytes the
 // server stores, usable with alp.Open / alp.Decode.
 func (c *Client) Compressed(ctx context.Context, name string) ([]byte, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/data", nil, nil, "")
+	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name)+"/data", nil, nil, "", "")
 	return payload, err
 }
 
@@ -496,7 +528,7 @@ func (c *Client) Values(ctx context.Context, name string) ([]float64, error) {
 // ships the vector's packed payload verbatim.
 func (c *Client) Vector(ctx context.Context, name string, i int) ([]float64, error) {
 	payload, _, err := c.do(ctx, http.MethodGet,
-		"/v1/columns/"+url.PathEscape(name)+"/vectors/"+strconv.Itoa(i), nil, nil, "")
+		"/v1/columns/"+url.PathEscape(name)+"/vectors/"+strconv.Itoa(i), nil, nil, "", "")
 	if err != nil {
 		return nil, err
 	}
@@ -510,7 +542,7 @@ func (c *Client) Vector(ctx context.Context, name string, i int) ([]float64, err
 
 // Info fetches the column's shape.
 func (c *Client) Info(ctx context.Context, name string) (ColumnInfo, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name), nil, nil, "")
+	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns/"+url.PathEscape(name), nil, nil, "", "")
 	if err != nil {
 		return ColumnInfo{}, err
 	}
@@ -523,7 +555,7 @@ func (c *Client) Info(ctx context.Context, name string) (ColumnInfo, error) {
 
 // List returns the names of the served columns.
 func (c *Client) List(ctx context.Context) ([]string, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns", nil, nil, "")
+	payload, _, err := c.do(ctx, http.MethodGet, "/v1/columns", nil, nil, "", "")
 	if err != nil {
 		return nil, err
 	}
@@ -538,14 +570,14 @@ func (c *Client) List(ctx context.Context) ([]string, error) {
 
 // Delete drops a column.
 func (c *Client) Delete(ctx context.Context, name string) error {
-	_, _, err := c.do(ctx, http.MethodDelete, "/v1/columns/"+url.PathEscape(name), nil, nil, "")
+	_, _, err := c.do(ctx, http.MethodDelete, "/v1/columns/"+url.PathEscape(name), nil, nil, "", "")
 	return err
 }
 
 // Metrics fetches the server's counter snapshot (the /metrics JSON) as
 // a name -> value map; bit_width_hist is omitted.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
-	payload, _, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil, "")
+	payload, _, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil, "", "")
 	if err != nil {
 		return nil, err
 	}

@@ -33,11 +33,12 @@ import (
 	"github.com/goalp/alp"
 	"github.com/goalp/alp/internal/bench"
 	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/servedbench"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig1, table2, fig3, table4, table5, fig4, fig5, sampling, table6, fig6, table7, alprd, filter, parallel")
+		exp     = flag.String("exp", "all", "experiment: all, fig1, table2, fig3, table4, table5, fig4, fig5, sampling, table6, fig6, table7, alprd, filter, parallel, servedscan")
 		n       = flag.Int("n", dataset.DefaultN, "values per dataset")
 		ghz     = flag.Float64("ghz", bench.DefaultGHz, "CPU clock in GHz for tuples-per-cycle conversion")
 		minDur  = flag.Duration("mindur", 20*time.Millisecond, "minimum measurement window per timing point")
@@ -61,7 +62,13 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := bench.RunSnapshot(out, bench.Options{N: *n, GHz: *ghz, MinDur: *minDur}); err != nil {
+		sopt := bench.Options{N: *n, GHz: *ghz, MinDur: *minDur}
+		served, err := servedbench.Measure(*n, sopt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alpbench: served-scan sweep:", err)
+			os.Exit(1)
+		}
+		if err := bench.RunSnapshot(out, sopt, served); err != nil {
 			fmt.Fprintln(os.Stderr, "alpbench: snapshot:", err)
 			os.Exit(1)
 		}
@@ -118,7 +125,7 @@ func main() {
 	known := map[string]bool{"all": true, "fig1": true, "table2": true, "fig3": true,
 		"table4": true, "table5": true, "fig4": true, "fig5": true, "sampling": true,
 		"table6": true, "fig6": true, "table7": true, "alprd": true, "filter": true,
-		"parallel": true}
+		"parallel": true, "servedscan": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "alpbench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -139,6 +146,7 @@ func main() {
 	run("alprd", func() { bench.RunALPRD(w, opt) })
 	run("filter", func() { bench.RunFilter(w, opt, *scale) })
 	run("parallel", func() { bench.RunParallel(w, opt, *scale, workerList) })
+	run("servedscan", func() { servedbench.Run(w, opt, *scale) })
 
 	if *stats {
 		s := alp.ReadStats()

@@ -175,6 +175,56 @@ func FuzzPushdownAgainstNaive(f *testing.F) {
 	})
 }
 
+// scanFuzzStream builds a deterministic valid scan stream exercising
+// all three frame kinds: a dense full-vector frame, a repacked sparse
+// frame and raw fallback frames, over a column with specials.
+func scanFuzzStream(lo, hi float64) []byte {
+	values := make([]float64, 2*VectorSize+37)
+	for i := range values {
+		values[i] = float64((i*7919)%100000) / 100
+	}
+	values[3] = math.NaN()
+	values[5] = math.Inf(1)
+	values[7] = math.Copysign(0, -1)
+	stream, _ := Compress(values).BuildScanStream(lo, hi)
+	return stream
+}
+
+// FuzzScanFrameDecode feeds arbitrary (including mutated-valid) bytes
+// to the selection-aware scan stream decoder: it must never panic, it
+// must reject every structural defect — bad magic, truncated frames,
+// CRC mismatches, bitmap-cardinality lies — with an error wrapping
+// ErrCorrupt, and accepted streams must decode deterministically.
+func FuzzScanFrameDecode(f *testing.F) {
+	full := scanFuzzStream(math.Inf(-1), math.Inf(1)) // dense frames
+	sparse := scanFuzzStream(0, 20)                   // repacked + raw frames
+	f.Add(full)
+	f.Add(sparse)
+	f.Add(full[:len(full)/2]) // mid-frame cut
+	f.Add(full[:5])           // header only
+	f.Add([]byte{})
+	f.Add([]byte("ALPSgarbage"))
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped) // CRC-detected corruption
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := DecodeScanStream(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeScanStream error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		again, err := DecodeScanStream(data)
+		if err != nil {
+			t.Fatalf("accepted stream failed on second decode: %v", err)
+		}
+		if !bitsEqual(rows, again) {
+			t.Fatal("accepted stream decoded differently twice")
+		}
+	})
+}
+
 // FuzzOpen feeds arbitrary (including mutated-valid) byte streams to
 // the stream readers: they must never panic, and must either decode
 // cleanly or fail with an error wrapping ErrCorrupt — the validation

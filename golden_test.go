@@ -116,6 +116,59 @@ func TestGoldenFormat(t *testing.T) {
 		})
 	}
 
+	// Scan wire format: the selection-aware stream over the same
+	// decimal and real-double fixtures, at a dense and a sparse band,
+	// so an accidental change to the frame layout, the CRC, or the
+	// encoding policy fails loudly.
+	scanCases := []struct {
+		name   string
+		values []float64
+		lo, hi float64
+	}{
+		{"scan_decimals_dense.alps", goldenDecimals(2560), math.Inf(-1), math.Inf(1)},
+		{"scan_decimals_sparse.alps", goldenDecimals(2560), 0, 20},
+		{"scan_realdoubles_dense.alps", goldenRealDoubles(1500), math.Inf(-1), math.Inf(1)},
+	}
+	for _, tc := range scanCases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", tc.name)
+			col := Compress(tc.values)
+			got, rows := col.BuildScanStream(tc.lo, tc.hi)
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("scan stream differs from golden fixture %s (%d vs %d bytes): the wire format changed",
+					tc.name, len(got), len(want))
+			}
+			decoded, err := DecodeScanStream(want)
+			if err != nil {
+				t.Fatalf("decoding fixture %s: %v", tc.name, err)
+			}
+			if len(decoded) != rows {
+				t.Fatalf("fixture %s decodes to %d rows, builder reported %d", tc.name, len(decoded), rows)
+			}
+			j := 0
+			for _, v := range tc.values {
+				if v >= tc.lo && v <= tc.hi {
+					if math.Float64bits(decoded[j]) != math.Float64bits(v) {
+						t.Fatalf("fixture %s row %d is not bit-exact", tc.name, j)
+					}
+					j++
+				}
+			}
+			if j != len(decoded) {
+				t.Fatalf("fixture %s has %d rows, oracle selects %d", tc.name, len(decoded), j)
+			}
+		})
+	}
+
 	cases32 := []struct {
 		name   string
 		values []float32

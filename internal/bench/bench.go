@@ -56,6 +56,12 @@ func (c Codec) BitsPerValue(values []float64) float64 {
 	return float64(len(data)) * 8 / float64(len(values))
 }
 
+// MeasureSeconds is measureSeconds for sibling harness packages
+// (internal/servedbench) that share this package's timing discipline.
+func MeasureSeconds(fn func(), minDuration time.Duration) float64 {
+	return measureSeconds(fn, minDuration)
+}
+
 // measureSeconds runs fn repeatedly until minDuration has elapsed and
 // returns the mean seconds per call.
 func measureSeconds(fn func(), minDuration time.Duration) float64 {

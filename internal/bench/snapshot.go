@@ -37,15 +37,35 @@ type SnapshotEntry struct {
 	FilterMVs    float64 `json:"filter_mvs"`
 }
 
-// SnapshotDoc is the whole BENCH_core.json document.
+// SnapshotDoc is the whole BENCH_core.json document. ServedScan is
+// the selectivity sweep of filtered scans through the HTTP service
+// (compressed ALPS wire vs raw float64s vs in-process), so wire-format
+// regressions show up in the same diff as codec ones.
 type SnapshotDoc struct {
-	Date      string          `json:"date"`
-	GoVersion string          `json:"go_version"`
-	GOOS      string          `json:"goos"`
-	GOARCH    string          `json:"goarch"`
-	CPUs      int             `json:"cpus"`
-	N         int             `json:"values_per_dataset"`
-	Entries   []SnapshotEntry `json:"entries"`
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPUs       int               `json:"cpus"`
+	N          int               `json:"values_per_dataset"`
+	Entries    []SnapshotEntry   `json:"entries"`
+	ServedScan []ServedScanEntry `json:"served_scan,omitempty"`
+}
+
+// ServedScanEntry is one selectivity point of the served-scan sweep
+// (measured by internal/servedbench, which owns the HTTP rig; the type
+// lives here so the snapshot document is self-contained). Throughputs
+// are MV/s of column values scanned per wall second — the same
+// denominator at every selectivity.
+type ServedScanEntry struct {
+	Selectivity float64 `json:"selectivity"`
+	Rows        int     `json:"rows"`
+	InprocMVs   float64 `json:"inproc_mvs"`
+	ServedMVs   float64 `json:"served_mvs"`
+	RawMVs      float64 `json:"served_raw_mvs"`
+	// LocalOverServed is in-process ÷ served-compressed: 1.0 means the
+	// wire is free, the acceptance bar is ≤ 3.0 at every point.
+	LocalOverServed float64 `json:"local_over_served"`
 }
 
 // RunSnapshot measures the snapshot entries and writes the document as
@@ -53,7 +73,9 @@ type SnapshotDoc struct {
 // (the per-core numbers the paper reports); the filter is a
 // single-threaded pushdown aggregate over the middle half of each
 // dataset's value range, so all three regimes do real kernel work.
-func RunSnapshot(w io.Writer, opt Options) error {
+// served is the pre-measured served-scan sweep (servedbench.Measure);
+// nil omits the series.
+func RunSnapshot(w io.Writer, opt Options, served []ServedScanEntry) error {
 	doc := SnapshotDoc{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -69,6 +91,7 @@ func RunSnapshot(w io.Writer, opt Options) error {
 		}
 		doc.Entries = append(doc.Entries, measureSnapshot(d, opt))
 	}
+	doc.ServedScan = served
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

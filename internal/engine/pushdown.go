@@ -293,6 +293,38 @@ func (r *Relation) FilterCount(threads int, p Predicate) int64 {
 	return total
 }
 
+// rowGatherer is implemented by partitions that can materialize the
+// rows matching a predicate directly from their compressed form (the
+// bitmap-driven gather path ALP partitions share with the scan wire
+// format).
+type rowGatherer interface {
+	FilterRows(p Predicate, bufs *filterBufs, out []float64) []float64
+}
+
+// FilterRows materializes every row matching p, in position order —
+// the serial in-process comparand that the served scan endpoint (under
+// either wire encoding) must match bit-for-bit. ALP partitions combine
+// zone-map skipping with the fused unpack+filter+gather kernels; other
+// partitions decode and filter in the float domain.
+func (r *Relation) FilterRows(p Predicate) []float64 {
+	bufs := newFilterBufs()
+	var out []float64
+	for _, part := range r.Parts {
+		if rg, ok := part.(rowGatherer); ok {
+			out = rg.FilterRows(p, bufs, out)
+			continue
+		}
+		part.Scan(bufs.out, func(vals []float64) {
+			for _, v := range vals {
+				if p.Match(v) {
+					out = append(out, v)
+				}
+			}
+		})
+	}
+	return out
+}
+
 // ---- ALP partition pushdown ----
 
 // FilterAgg implements PushdownScanner: zone maps skip vectors that
@@ -318,6 +350,28 @@ func (p *alpPartition) FilterAgg(pred Predicate, bufs *filterBufs, a *Agg) int {
 	o.VectorsSkipped(skipped)
 	o.FlushScanBatch(&batch)
 	return touched
+}
+
+// FilterRows implements rowGatherer: the selection bitmap from the
+// encoded-domain kernel drives the gather, so non-qualifying rows are
+// never materialized as floats.
+func (p *alpPartition) FilterRows(pred Predicate, bufs *filterBufs, out []float64) []float64 {
+	o := obs.Active()
+	skipped := 0
+	var batch obs.ScanBatch
+	col := p.col
+	for i := 0; i < col.NumVectors(); i++ {
+		if col.Zones != nil && !col.Zones.MayContain(i, pred.Lo, pred.Hi) {
+			skipped++
+			continue
+		}
+		n, pd := col.FilterGatherVector(i, pred.Lo, pred.Hi, bufs.sel[:], bufs.out, bufs.scratch)
+		batch.Vector(n, pd)
+		out = append(out, bufs.out[:n]...)
+	}
+	o.VectorsSkipped(skipped)
+	o.FlushScanBatch(&batch)
+	return out
 }
 
 // FilterCount implements PushdownScanner without gathering: on the

@@ -68,6 +68,15 @@ func (f *FFOR) Decode(dst []int64) {
 	bitpack.Unpack(asUint64(dst), f.Words, f.Width, uint64(f.Base))
 }
 
+// UnpackRaw unpacks the packed payload without applying the base: dst
+// receives the raw frame-of-reference offsets, exactly what the fused
+// filter kernel leaves in its scratch buffer and what
+// alpenc.Vector.GatherSelected consumes (it re-adds the base per
+// selected row). dst must have length f.N.
+func (f *FFOR) UnpackRaw(dst []int64) {
+	bitpack.Unpack(asUint64(dst), f.Words, f.Width, 0)
+}
+
 // DecodeUnfused performs the same decompression in two separate passes:
 // bit-unpacking first, then adding the base. It exists only as the
 // unfused comparand for the Figure 5 kernel-fusion ablation.

@@ -40,11 +40,13 @@ const (
 	HistMeta                  // list / info / delete
 
 	// Engine and codec stages (one kernel call = one sample).
-	HistStageEncode    // row-group encode (sampling + vector encodes)
-	HistStageUnpack    // FFOR unpack kernel (decode path)
-	HistStageFilter    // fused FFOR unpack+compare kernel
-	HistStageGather    // selected-row gather / bulk vector decode
-	HistStageHTTPWrite // response payload writes on the scan path
+	HistStageEncode     // row-group encode (sampling + vector encodes)
+	HistStageUnpack     // FFOR unpack kernel (decode path)
+	HistStageFilter     // fused FFOR unpack+compare kernel
+	HistStageGather     // selected-row gather / bulk vector decode
+	HistStageHTTPWrite  // response payload writes on the scan path
+	HistStageRepack     // sparse-selection re-pack on the scan wire path
+	HistStageScanDecode // client-side scan frame decode
 
 	NumHists
 )
@@ -53,18 +55,20 @@ const (
 // surface as lat_<endpoint>_{count,sum_ns,p50_ns,p95_ns,p99_ns,max_ns}
 // and stage histograms as stage_<stage>_... in /metrics.
 var histNames = [NumHists]string{
-	HistIngest:         "lat_ingest",
-	HistAgg:            "lat_agg",
-	HistCount:          "lat_count",
-	HistScan:           "lat_scan",
-	HistData:           "lat_data",
-	HistVectors:        "lat_vectors",
-	HistMeta:           "lat_meta",
-	HistStageEncode:    "stage_encode",
-	HistStageUnpack:    "stage_unpack",
-	HistStageFilter:    "stage_filter",
-	HistStageGather:    "stage_gather",
-	HistStageHTTPWrite: "stage_http_write",
+	HistIngest:          "lat_ingest",
+	HistAgg:             "lat_agg",
+	HistCount:           "lat_count",
+	HistScan:            "lat_scan",
+	HistData:            "lat_data",
+	HistVectors:         "lat_vectors",
+	HistMeta:            "lat_meta",
+	HistStageEncode:     "stage_encode",
+	HistStageUnpack:     "stage_unpack",
+	HistStageFilter:     "stage_filter",
+	HistStageGather:     "stage_gather",
+	HistStageHTTPWrite:  "stage_http_write",
+	HistStageRepack:     "stage_repack",
+	HistStageScanDecode: "stage_scan_decode",
 }
 
 // HistName returns the stable metric-name prefix of id ("lat_scan",

@@ -78,6 +78,12 @@ type Collector struct {
 	serverBytesOut atomic.Int64 // response payload bytes written
 	serverScans    atomic.Int64 // scan/agg/count requests served
 
+	// Selection-aware scan wire format.
+	scanFramesDense    atomic.Int64 // frames shipped as envelope + bitmap
+	scanFramesRepacked atomic.Int64 // frames shipped as re-packed ALP vectors
+	scanFramesRaw      atomic.Int64 // frames that fell back to raw float64s
+	scanBytesSaved     atomic.Int64 // raw-encoding bytes minus actual wire bytes
+
 	// Latency histograms: per server endpoint and per engine stage.
 	// Durations live here (mergeable distributions with quantiles);
 	// the counters above stay monotonic event counts. The old
@@ -360,6 +366,30 @@ func (c *Collector) ServerScanned() {
 	c.serverScans.Add(1)
 }
 
+// ScanFrames records one scan request's wire-frame mix: how many frames
+// went out under each encoding, and the bytes the compressed encodings
+// saved against the raw-float64 floor (raw cost of every selected row
+// minus the actual frame bytes, framing included; raw frames contribute
+// their own overhead as negative savings). Batched per request like
+// ScanBatch — one call per served scan, not per vector.
+func (c *Collector) ScanFrames(dense, repacked, raw, bytesSaved int64) {
+	if c == nil {
+		return
+	}
+	if dense != 0 {
+		c.scanFramesDense.Add(dense)
+	}
+	if repacked != 0 {
+		c.scanFramesRepacked.Add(repacked)
+	}
+	if raw != 0 {
+		c.scanFramesRaw.Add(raw)
+	}
+	if bytesSaved != 0 {
+		c.scanBytesSaved.Add(bytesSaved)
+	}
+}
+
 // ---- snapshot ----
 
 // Snapshot is a point-in-time copy of every counter, safe to read,
@@ -403,6 +433,11 @@ type Snapshot struct {
 	ServerBytesIn  int64
 	ServerBytesOut int64
 	ServerScans    int64
+
+	ScanFramesDense    int64
+	ScanFramesRepacked int64
+	ScanFramesRaw      int64
+	ScanBytesSaved     int64
 
 	// Hists[id] is the snapshot of latency histogram id (see HistID).
 	Hists [NumHists]HistSnapshot
@@ -448,6 +483,10 @@ func (c *Collector) Snapshot() Snapshot {
 	s.ServerBytesIn = c.serverBytesIn.Load()
 	s.ServerBytesOut = c.serverBytesOut.Load()
 	s.ServerScans = c.serverScans.Load()
+	s.ScanFramesDense = c.scanFramesDense.Load()
+	s.ScanFramesRepacked = c.scanFramesRepacked.Load()
+	s.ScanFramesRaw = c.scanFramesRaw.Load()
+	s.ScanBytesSaved = c.scanBytesSaved.Load()
 	for i := range s.Hists {
 		s.Hists[i] = c.hists[i].Snapshot()
 	}
@@ -493,6 +532,10 @@ func (c *Collector) Reset() {
 	c.serverBytesIn.Store(0)
 	c.serverBytesOut.Store(0)
 	c.serverScans.Store(0)
+	c.scanFramesDense.Store(0)
+	c.scanFramesRepacked.Store(0)
+	c.scanFramesRaw.Store(0)
+	c.scanBytesSaved.Store(0)
 	for i := range c.hists {
 		c.hists[i].reset()
 	}
@@ -568,6 +611,10 @@ func (s Snapshot) String() string {
 	f("server_bytes_in", s.ServerBytesIn)
 	f("server_bytes_out", s.ServerBytesOut)
 	f("server_scans", s.ServerScans)
+	f("scan_frames_dense", s.ScanFramesDense)
+	f("scan_frames_repacked", s.ScanFramesRepacked)
+	f("scan_frames_raw", s.ScanFramesRaw)
+	f("scan_bytes_saved", s.ScanBytesSaved)
 	for i := range s.Hists {
 		s.Hists[i].writeJSON(&b, histNames[i])
 	}

@@ -1,0 +1,214 @@
+// Package servedbench is the served-scan selectivity sweep: the same
+// filtered row retrieval measured three ways — in-process fused
+// unpack+filter+gather (engine.Relation.FilterRows), served over
+// loopback HTTP with the compressed selection-aware stream (the ALPS
+// frame format), and served as raw little-endian float64s (the legacy
+// wire) — across the selectivity range, so the cost of the network hop
+// is a measured ratio per selectivity rather than one anecdote. This
+// is the experiment behind the EXPERIMENTS.md served-vs-local table
+// and the `served_scan` series in BENCH_core.json.
+//
+// It lives outside internal/bench because it must import
+// internal/server (which imports the root module): the root package's
+// own benchmarks import internal/bench, and routing the server through
+// that package would cycle. The HTTP side speaks net/http +
+// internal/format directly; the decode work per body is identical to
+// client.Scan's.
+package servedbench
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"github.com/goalp/alp/internal/bench"
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/server"
+)
+
+// selectivities mirrors the differential battery's sweep.
+var selectivities = []float64{0.001, 0.01, 0.10, 0.50, 0.99, 1.00}
+
+// column is a uniform decimal spread over [0, 1000): a band
+// [0, 1000*s) selects exactly fraction s of the rows, making the sweep
+// points precise instead of dataset-dependent.
+func column(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64((i*7919)%100000) / 100
+	}
+	return out
+}
+
+// get fetches one filtered scan and decodes the body into out,
+// returning the row count. compressed selects the ALPS wire via
+// Accept; otherwise the body is raw little-endian float64s.
+func get(baseURL, query string, compressed bool, out []float64) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/columns/sweep/scan"+query, nil)
+	if err != nil {
+		return 0, err
+	}
+	if compressed {
+		req.Header.Set("Accept", format.ScanContentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("scan: HTTP %d", resp.StatusCode)
+	}
+	if !compressed {
+		if len(body)%8 != 0 {
+			return 0, fmt.Errorf("raw scan body of %d bytes", len(body))
+		}
+		rows := len(body) / 8
+		for i := 0; i < rows && i < len(out); i++ {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return rows, nil
+	}
+	d, err := format.NewScanDecoder(body)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		vals, err := d.Next()
+		if err == io.EOF {
+			return d.Rows(), nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if at := d.Rows() - len(vals); at >= 0 && d.Rows() <= len(out) {
+			copy(out[at:], vals)
+		}
+	}
+}
+
+// bestOfSeconds is the best (lowest mean seconds per call) of five
+// measurement windows of minDur/2 each.
+func bestOfSeconds(fn func(), minDur time.Duration) float64 {
+	window := minDur / 2
+	if window < 25*time.Millisecond {
+		window = 25 * time.Millisecond
+	}
+	best := math.Inf(1)
+	for i := 0; i < 5; i++ {
+		if sec := bench.MeasureSeconds(fn, window); sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// Measure runs the sweep on an n-value column and returns one entry
+// per selectivity. The server and the requester share the process over
+// a loopback httptest listener — the same rig as the internal/server
+// benchmarks — so the measured delta is serialization + HTTP, not a
+// real network.
+func Measure(n int, opt bench.Options) ([]bench.ServedScanEntry, error) {
+	values := column(n)
+	rel := engine.BuildALP(values)
+
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := make([]byte, 8*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(v))
+	}
+	resp, err := http.Post(ts.URL+"/v1/columns/sweep", "application/x-alp-f64le", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("served-scan ingest: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("served-scan ingest: HTTP %d", resp.StatusCode)
+	}
+
+	mvs := func(sec float64) float64 {
+		if sec <= 0 {
+			return 0
+		}
+		return float64(n) / sec / 1e6
+	}
+	decoded := make([]float64, n)
+	var entries []bench.ServedScanEntry
+	for _, s := range selectivities {
+		lo, hi := 0.0, 1000*s-0.005
+		query := fmt.Sprintf("?lo=%g&hi=%g", lo, hi)
+		pred := engine.Between(lo, hi)
+		if s >= 1 {
+			query = "" // no predicate params: full scan
+			pred = engine.Between(math.Inf(-1), math.Inf(1))
+		}
+		rows := len(rel.FilterRows(pred))
+		timedGet := func(compressed bool) func() {
+			return func() {
+				got, err := get(ts.URL, query, compressed, decoded)
+				if err != nil {
+					panic("served scan: " + err.Error())
+				}
+				if got != rows {
+					panic(fmt.Sprintf("served scan returned %d rows, in-process %d", got, rows))
+				}
+			}
+		}
+		// Best of 5 windows per mode (the same discipline as the
+		// EXPERIMENTS.md obs-overhead table), with a collection between
+		// modes: a single 200ms TCP retransmission stall on a contended
+		// loopback — or FilterRows garbage draining during the next
+		// window — would otherwise wreck one mode's mean while leaving
+		// its neighbors clean.
+		runtime.GC()
+		inprocSec := bestOfSeconds(func() { rel.FilterRows(pred) }, opt.MinDur)
+		runtime.GC()
+		servedSec := bestOfSeconds(timedGet(true), opt.MinDur)
+		runtime.GC()
+		rawSec := bestOfSeconds(timedGet(false), opt.MinDur)
+		e := bench.ServedScanEntry{
+			Selectivity: s,
+			Rows:        rows,
+			InprocMVs:   mvs(inprocSec),
+			ServedMVs:   mvs(servedSec),
+			RawMVs:      mvs(rawSec),
+		}
+		if e.ServedMVs > 0 {
+			e.LocalOverServed = e.InprocMVs / e.ServedMVs
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Run prints the sweep as the EXPERIMENTS.md table.
+func Run(w io.Writer, opt bench.Options, scale int) {
+	fmt.Fprintf(w, "Served vs in-process filtered scan, %d values, loopback HTTP (MV/s = column values scanned per second)\n", scale)
+	entries, err := Measure(scale, opt)
+	if err != nil {
+		fmt.Fprintln(w, "servedscan:", err)
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "selectivity\trows\tin-process\tserved (ALPS)\tserved (raw f64)\tlocal/served")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%.1f%%\t%d\t%.1f MV/s\t%.1f MV/s\t%.1f MV/s\t%.2fx\n",
+			100*e.Selectivity, e.Rows, e.InprocMVs, e.ServedMVs, e.RawMVs, e.LocalOverServed)
+	}
+	tw.Flush()
+}

@@ -706,14 +706,35 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 // complete one, because every prefix of the stream is 8-byte aligned.
 const ScanRowsTrailer = "X-Alp-Scan-Rows"
 
-// handleScan streams the rows matching the predicate as little-endian
-// float64s, in position order, evaluating the predicate with zone-map
-// skipping plus the encoded-domain kernel vector-at-a-time. The
-// response is produced incrementally — a scan of a huge column never
-// materializes more than one vector. Completion is framed by the
-// ScanRowsTrailer; if the deadline fires or a write fails mid-stream
-// the connection is aborted so the client sees a transport error,
-// never a silently short 200.
+// scanAcceptsCompressed reports whether the request's Accept header
+// opts into the selection-aware scan stream (format.ScanContentType).
+// Plain media-range matching over the comma-separated list; absent or
+// non-matching Accept values keep the raw float64 encoding, so old
+// clients are untouched.
+func scanAcceptsCompressed(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := part
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = mt[:i]
+		}
+		if strings.TrimSpace(mt) == format.ScanContentType {
+			return true
+		}
+	}
+	return false
+}
+
+// handleScan streams the rows matching the predicate, in position
+// order, evaluating the predicate with zone-map skipping plus the
+// encoded-domain kernel vector-at-a-time. The wire encoding is
+// negotiated: `Accept: application/x-alp-scan` selects the framed
+// selection-aware stream (compressed per-vector payloads the client
+// decodes with the fused kernels); anything else gets the original raw
+// little-endian float64 body. Either way the response is produced
+// incrementally — a scan of a huge column never materializes more than
+// one vector — and completion is framed by the ScanRowsTrailer; if the
+// deadline fires or a write fails mid-stream the connection is aborted
+// so the client sees a transport error, never a silently short 200.
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	sc, ok := s.getColumn(w, r)
 	if !ok {
@@ -726,6 +747,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.testHook != nil {
 		s.testHook()
+	}
+	if scanAcceptsCompressed(r.Header.Get("Accept")) {
+		s.serveScanStream(w, r, sc, pred)
+		return
 	}
 	w.Header().Set("Trailer", ScanRowsTrailer)
 	w.Header().Set("Content-Type", "application/x-alp-f64le")
@@ -779,6 +804,82 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			t0 = time.Now()
 		}
 		if _, err := w.Write(raw[:n*8]); err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		if timed {
+			ns := time.Since(t0).Nanoseconds()
+			writeNs += ns
+			o.Observe(obs.HistStageHTTPWrite, ns)
+		}
+		rows += n
+	}
+	w.Header().Set(ScanRowsTrailer, strconv.Itoa(rows))
+}
+
+// serveScanStream is the negotiated compressed scan path: one wire
+// frame per qualifying vector, each the cheapest of the stored
+// envelope + selection bitmap, a re-packed ALP vector of the selected
+// rows, or raw float64s (format.ScanWriter decides by exact byte
+// size). The stream header goes out before the first frame; abort
+// semantics and the row-count trailer match the raw path.
+func (s *Server) serveScanStream(w http.ResponseWriter, r *http.Request, sc *storedColumn, pred engine.Predicate) {
+	w.Header().Set("Trailer", ScanRowsTrailer)
+	w.Header().Set("Content-Type", format.ScanContentType)
+	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
+	col := sc.col
+	sw := format.NewScanWriter(col)
+	skipped, rows := 0, 0
+	o := obs.Active()
+	tr := obs.TraceFrom(r.Context())
+	timed := o != nil || tr != nil
+	var engineNs, writeNs int64
+	var batch obs.ScanBatch
+	var dense, repacked, raw, bytesSaved int64
+	defer func() {
+		// Runs on the abort panic too, so counters stay coherent.
+		o.VectorsSkipped(skipped)
+		o.FlushScanBatch(&batch)
+		o.ScanFrames(dense, repacked, raw, bytesSaved)
+		o.ServerScanned()
+		tr.Add(obs.SpanEngine, engineNs)
+		tr.Add(obs.SpanWrite, writeNs)
+	}()
+	if _, err := w.Write(format.AppendScanStreamHeader(nil)); err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	var t0 time.Time
+	for i := 0; i < col.NumVectors(); i++ {
+		if r.Context().Err() != nil {
+			panic(http.ErrAbortHandler)
+		}
+		if col.Zones != nil && !col.Zones.MayContain(i, pred.Lo, pred.Hi) {
+			skipped++
+			continue
+		}
+		if timed {
+			t0 = time.Now()
+		}
+		frame, n, kind, pd := sw.Frame(i, pred.Lo, pred.Hi)
+		if timed {
+			engineNs += time.Since(t0).Nanoseconds()
+		}
+		batch.Vector(n, pd)
+		if n == 0 {
+			continue
+		}
+		switch kind {
+		case format.ScanFrameDense:
+			dense++
+		case format.ScanFrameRepacked:
+			repacked++
+		default:
+			raw++
+		}
+		bytesSaved += int64(8*n - len(frame))
+		if timed {
+			t0 = time.Now()
+		}
+		if _, err := w.Write(frame); err != nil {
 			panic(http.ErrAbortHandler)
 		}
 		if timed {

@@ -66,6 +66,12 @@ type Stats struct {
 	ServerBytesIn  int64 // request payload bytes read (ingest)
 	ServerBytesOut int64 // response payload bytes written
 	ServerScans    int64 // scan/agg/count requests served
+
+	// Selection-aware scan wire format (Accept: application/x-alp-scan).
+	ScanFramesDense    int64 // frames shipped as stored envelope + bitmap
+	ScanFramesRepacked int64 // frames shipped as re-packed ALP vectors
+	ScanFramesRaw      int64 // frames that fell back to raw float64 rows
+	ScanBytesSaved     int64 // wire bytes saved vs the raw-float64 floor
 }
 
 // EnableStats turns on global metrics collection. Instrumented hot
@@ -122,6 +128,10 @@ func statsFromSnapshot(s obs.Snapshot) Stats {
 		ServerBytesIn:         s.ServerBytesIn,
 		ServerBytesOut:        s.ServerBytesOut,
 		ServerScans:           s.ServerScans,
+		ScanFramesDense:       s.ScanFramesDense,
+		ScanFramesRepacked:    s.ScanFramesRepacked,
+		ScanFramesRaw:         s.ScanFramesRaw,
+		ScanBytesSaved:        s.ScanBytesSaved,
 	}
 }
 
@@ -212,6 +222,10 @@ func statsToSnapshot(s Stats) obs.Snapshot {
 		ServerBytesIn:         s.ServerBytesIn,
 		ServerBytesOut:        s.ServerBytesOut,
 		ServerScans:           s.ServerScans,
+		ScanFramesDense:       s.ScanFramesDense,
+		ScanFramesRepacked:    s.ScanFramesRepacked,
+		ScanFramesRaw:         s.ScanFramesRaw,
+		ScanBytesSaved:        s.ScanBytesSaved,
 	}
 }
 
