@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race check clean
+.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race gauntlet gauntlet-check check clean
 
 all: check
 
@@ -56,9 +56,30 @@ serve-smoke:
 # The server integration tests (shedding, drain, retry, end-to-end
 # bit-identity, and the served-scan differential battery with its
 # selectivity sweep × edge datasets) under the race detector — the
-# service is the most concurrent code in the repo.
+# service is the most concurrent code in the repo. internal/gauntlet
+# rides along for its per-domain encode → serve → ALPS scan smoke.
 server-race:
-	$(GO) test -race -count=1 ./internal/server ./client ./cmd/alpserved
+	$(GO) test -race -count=1 ./internal/server ./client ./cmd/alpserved ./internal/gauntlet
+
+# The cross-domain gauntlet: all 9 codecs × 5 workload domains (HPC,
+# time series, observability, db, ML weights), measuring compression
+# ratio plus compress/decompress/filter throughput per (domain,
+# dataset, codec) and one served ALPS scan per domain, with median-of-5
+# noise control. Writes the dated, schema-versioned BENCH_gauntlet.json
+# baseline and prints the per-domain winners table.
+gauntlet:
+	$(GO) run ./cmd/alpgauntlet -o BENCH_gauntlet.json -table
+
+# The regression gate every perf PR must pass: re-measures the gauntlet
+# and fails with a per-metric diff on >10% throughput drop (plus the
+# documented noise bound, capped at 25%) or >2% compression-ratio
+# growth against the committed baseline. Flagged cells are re-measured
+# (best-of) before the gate fails, so scheduling jitter on a busy box
+# doesn't masquerade as a regression. Refresh the baseline with
+# `make gauntlet` only when a change is *supposed* to move the numbers,
+# and say so in the PR.
+gauntlet-check:
+	$(GO) run ./cmd/alpgauntlet -check BENCH_gauntlet.json
 
 # The full PR gate, mirrored by .github/workflows/ci.yml.
 check: vet build test race bench-smoke serve-smoke server-race fuzz-smoke

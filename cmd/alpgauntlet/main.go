@@ -1,0 +1,117 @@
+// Command alpgauntlet runs the cross-domain compression gauntlet and
+// gates on regressions against a committed baseline.
+//
+// Usage:
+//
+//	alpgauntlet -o BENCH_gauntlet.json            # run, write the dated document
+//	alpgauntlet -check BENCH_gauntlet.json        # run fresh, diff vs baseline, exit 1 on regression
+//	alpgauntlet -check BASE -o FRESH.json         # gate and also keep the fresh run (CI artifact)
+//	alpgauntlet -table                            # run and print the per-domain winners table
+//	alpgauntlet -domains hpc,ml -n 65536 -reps 3  # restrict and rescale the sweep
+//
+// The regression rules (>10% throughput drop plus documented noise,
+// >2% compression-ratio growth, missing entries, invalid values) live
+// in internal/gauntlet; `make gauntlet` and `make gauntlet-check` are
+// the canonical invocations. Before -check fails it re-measures the
+// flagged cells up to -retries times and keeps the best observation —
+// real regressions reproduce under re-measurement, scheduling jitter
+// does not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/gauntlet"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write the fresh gauntlet document to this file (\"-\" = stdout)")
+		check   = flag.String("check", "", "baseline BENCH_gauntlet.json to gate the fresh run against; exit 1 on regression")
+		table   = flag.Bool("table", false, "print the per-domain results table to stdout")
+		n       = flag.Int("n", dataset.DefaultN, "values per dataset")
+		minDur  = flag.Duration("mindur", 10*time.Millisecond, "minimum length of one measurement window")
+		reps    = flag.Int("reps", 5, "measurement windows per metric (median-of-K)")
+		domains = flag.String("domains", "", "comma-separated domain filter (default: all)")
+		retries = flag.Int("retries", gauntlet.DefaultGateRetries, "re-measure passes granted to flagged cells before -check fails")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alpgauntlet:", err)
+		os.Exit(1)
+	}
+
+	opt := gauntlet.Options{N: *n, MinDur: *minDur, Reps: *reps}
+	if *domains != "" {
+		for _, d := range strings.Split(*domains, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				opt.Domains = append(opt.Domains, d)
+			}
+		}
+	}
+	if *out == "" && *check == "" && !*table {
+		*out = "-" // bare invocation: run and print the document
+	}
+
+	var baseline *gauntlet.Doc
+	if *check != "" {
+		doc, err := gauntlet.Load(*check)
+		if err != nil {
+			fail(err)
+		}
+		baseline = doc
+		// The gate re-measures at the baseline's scale; a -n override
+		// that disagrees would be rejected by Compare anyway.
+		opt.N = doc.N
+	}
+
+	fmt.Fprintf(os.Stderr, "alpgauntlet: measuring %d values/dataset, median of %d windows >= %v\n",
+		opt.N, opt.Reps, opt.MinDur)
+	start := time.Now()
+	var (
+		doc *gauntlet.Doc
+		rep *gauntlet.Report
+		err error
+	)
+	if baseline != nil {
+		// The gate re-measures flagged cells before failing, so a busy
+		// machine's scheduling jitter doesn't masquerade as a regression.
+		doc, rep, err = gauntlet.Gate(baseline, opt, *retries, os.Stderr)
+	} else {
+		doc, err = gauntlet.Measure(opt)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "alpgauntlet: measured %d domains in %v (noise bound %.2f%%)\n",
+		len(doc.Domains), time.Since(start).Round(time.Second), 100*doc.NoiseBound)
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := doc.Write(w); err != nil {
+			fail(err)
+		}
+	}
+	if *table {
+		gauntlet.WriteTable(os.Stdout, doc)
+	}
+	if rep != nil {
+		rep.Format(os.Stdout)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	}
+}

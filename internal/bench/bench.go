@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"sort"
 	"time"
 
 	"github.com/goalp/alp/internal/chimp"
@@ -60,6 +61,33 @@ func (c Codec) BitsPerValue(values []float64) float64 {
 // (internal/servedbench) that share this package's timing discipline.
 func MeasureSeconds(fn func(), minDuration time.Duration) float64 {
 	return measureSeconds(fn, minDuration)
+}
+
+// MeasureMedianSeconds is the noise-controlled timing primitive behind
+// the benchmark snapshots and the cross-domain gauntlet: it runs reps
+// independent measurement windows of at least window each (after
+// measureSeconds' own warmup) and returns the median seconds-per-call
+// together with the observed relative half-spread, (max-min)/(2*median)
+// — the per-metric noise bound the regression comparator is told to
+// tolerate on top of its threshold. A scheduler stall or GC pause that
+// wrecks one window moves the spread, not the median.
+func MeasureMedianSeconds(fn func(), window time.Duration, reps int) (median, spread float64) {
+	if reps < 1 {
+		reps = 1
+	}
+	samples := make([]float64, reps)
+	for i := range samples {
+		samples[i] = measureSeconds(fn, window)
+	}
+	sort.Float64s(samples)
+	median = samples[reps/2]
+	if reps%2 == 0 {
+		median = (samples[reps/2-1] + samples[reps/2]) / 2
+	}
+	if median > 0 && reps > 1 {
+		spread = (samples[reps-1] - samples[0]) / (2 * median)
+	}
+	return median, spread
 }
 
 // measureSeconds runs fn repeatedly until minDuration has elapsed and

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -23,6 +24,15 @@ import (
 
 // snapshotDatasets are the three shapes the snapshot tracks.
 var snapshotDatasets = []string{"City-Temp", "Gov/10", "POI-lat"}
+
+// SnapshotReps is the K in the snapshot's median-of-K timing: every
+// throughput number is the median of this many independent measurement
+// windows, and the document records the worst observed relative
+// half-spread as noise_bound. Single-shot means were jitter-prone on
+// 1-CPU hosts; the documented bound is what the gauntlet's regression
+// comparator adds to its threshold when this machine's numbers are
+// compared.
+const SnapshotReps = 5
 
 // SnapshotEntry is one dataset's row in BENCH_core.json. Throughputs
 // are in MV/s — millions of values per second of wall time — the
@@ -42,14 +52,21 @@ type SnapshotEntry struct {
 // (compressed ALPS wire vs raw float64s vs in-process), so wire-format
 // regressions show up in the same diff as codec ones.
 type SnapshotDoc struct {
-	Date       string            `json:"date"`
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	CPUs       int               `json:"cpus"`
-	N          int               `json:"values_per_dataset"`
-	Entries    []SnapshotEntry   `json:"entries"`
-	ServedScan []ServedScanEntry `json:"served_scan,omitempty"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	N         int    `json:"values_per_dataset"`
+	// Repetitions and NoiseBound document the noise-control contract:
+	// each entry metric is a median of Repetitions windows, and
+	// NoiseBound is the worst relative half-spread ((max-min)/2·median)
+	// observed while measuring them — the slack a regression comparator
+	// should tolerate on top of its threshold.
+	Repetitions int               `json:"repetitions"`
+	NoiseBound  float64           `json:"noise_bound"`
+	Entries     []SnapshotEntry   `json:"entries"`
+	ServedScan  []ServedScanEntry `json:"served_scan,omitempty"`
 }
 
 // ServedScanEntry is one selectivity point of the served-scan sweep
@@ -77,32 +94,39 @@ type ServedScanEntry struct {
 // nil omits the series.
 func RunSnapshot(w io.Writer, opt Options, served []ServedScanEntry) error {
 	doc := SnapshotDoc{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		N:         opt.N,
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		N:           opt.N,
+		Repetitions: SnapshotReps,
 	}
+	noise := 0.0
 	for _, name := range snapshotDatasets {
 		d, ok := dataset.ByName(name)
 		if !ok {
 			return fmt.Errorf("snapshot dataset %q not in registry", name)
 		}
-		doc.Entries = append(doc.Entries, measureSnapshot(d, opt))
+		entry, spread := measureSnapshot(d, opt)
+		doc.Entries = append(doc.Entries, entry)
+		if spread > noise {
+			noise = spread
+		}
 	}
+	doc.NoiseBound = math.Round(noise*1e4) / 1e4
 	doc.ServedScan = served
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
 
-func measureSnapshot(d dataset.Dataset, opt Options) SnapshotEntry {
+func measureSnapshot(d dataset.Dataset, opt Options) (SnapshotEntry, float64) {
 	values := d.Generate(opt.N)
 	col := format.EncodeColumn(values)
 
-	encSec := measureSeconds(func() { format.EncodeColumn(values) }, opt.MinDur)
-	decSec := measureSeconds(func() { col.Decode() }, opt.MinDur)
+	encSec, s1 := MeasureMedianSeconds(func() { format.EncodeColumn(values) }, opt.MinDur, SnapshotReps)
+	decSec, s2 := MeasureMedianSeconds(func() { col.Decode() }, opt.MinDur, SnapshotReps)
 
 	// Mid-range predicate: the middle half of the observed value range,
 	// selective enough that the filter kernel, the zone maps and the
@@ -119,7 +143,7 @@ func measureSnapshot(d dataset.Dataset, opt Options) SnapshotEntry {
 	quarter := (hi - lo) / 4
 	pred := engine.Between(lo+quarter, hi-quarter)
 	rel := engine.BuildALP(values)
-	filtSec := measureSeconds(func() { rel.FilterAgg(1, pred) }, opt.MinDur)
+	filtSec, s3 := MeasureMedianSeconds(func() { rel.FilterAgg(1, pred) }, opt.MinDur, SnapshotReps)
 
 	mvs := func(sec float64) float64 {
 		if sec <= 0 {
@@ -135,5 +159,5 @@ func measureSnapshot(d dataset.Dataset, opt Options) SnapshotEntry {
 		EncodeMVs:    mvs(encSec),
 		DecodeMVs:    mvs(decSec),
 		FilterMVs:    mvs(filtSec),
-	}
+	}, math.Max(s1, math.Max(s2, s3))
 }

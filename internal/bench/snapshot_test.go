@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// The snapshot's noise-control contract: every metric is a median of
+// SnapshotReps windows and the document says so, carrying the worst
+// observed relative half-spread as noise_bound for downstream
+// comparators to tolerate.
+func TestSnapshotRecordsNoiseContract(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{N: 4096, MinDur: 200 * time.Microsecond}
+	if err := RunSnapshot(&buf, opt, nil); err != nil {
+		t.Fatalf("RunSnapshot: %v", err)
+	}
+	var doc SnapshotDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if doc.Repetitions != SnapshotReps {
+		t.Errorf("repetitions = %d, want %d", doc.Repetitions, SnapshotReps)
+	}
+	if doc.NoiseBound < 0 {
+		t.Errorf("noise_bound = %v, want >= 0", doc.NoiseBound)
+	}
+	if len(doc.Entries) != len(snapshotDatasets) {
+		t.Fatalf("entries = %d, want %d", len(doc.Entries), len(snapshotDatasets))
+	}
+	for _, e := range doc.Entries {
+		if e.EncodeMVs <= 0 || e.DecodeMVs <= 0 || e.FilterMVs <= 0 {
+			t.Errorf("%s: non-positive throughput: %+v", e.Dataset, e)
+		}
+	}
+	// The raw JSON must carry the fields by their documented names, so
+	// external comparators can rely on them without importing this
+	// package.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"repetitions", "noise_bound"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("snapshot JSON missing %q", key)
+		}
+	}
+}
+
+func TestMeasureMedianSeconds(t *testing.T) {
+	med, spread := MeasureMedianSeconds(func() {}, 100*time.Microsecond, 5)
+	if med <= 0 {
+		t.Errorf("median = %v, want > 0", med)
+	}
+	if spread < 0 {
+		t.Errorf("spread = %v, want >= 0", spread)
+	}
+	// A single repetition has no spread to report.
+	_, spread = MeasureMedianSeconds(func() {}, 100*time.Microsecond, 1)
+	if spread != 0 {
+		t.Errorf("spread with 1 rep = %v, want 0", spread)
+	}
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtendedRegistry pins the gauntlet registry shape: the paper's 30
+// datasets stay untouched in All(), the extended registry adds three
+// datasets for each of the three new domains, and every domain the
+// gauntlet sweeps has at least three members.
+func TestExtendedRegistry(t *testing.T) {
+	if got := len(All()); got != 30 {
+		t.Fatalf("All() has %d datasets, want the paper's 30", got)
+	}
+	ext := Extended()
+	if len(ext) != 9 {
+		t.Fatalf("Extended() has %d datasets, want 9", len(ext))
+	}
+	names := make(map[string]bool)
+	for _, d := range AllExtended() {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset name %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+	byDomain := make(map[string]int)
+	for _, d := range AllExtended() {
+		if d.Domain == "" {
+			t.Fatalf("dataset %q has no domain", d.Name)
+		}
+		byDomain[d.Domain]++
+	}
+	for _, dom := range Domains() {
+		if byDomain[dom] < 3 {
+			t.Errorf("domain %q has %d datasets, want >= 3", dom, byDomain[dom])
+		}
+		if got := len(ByDomain(dom)); got != byDomain[dom] {
+			t.Errorf("ByDomain(%q) = %d datasets, counted %d", dom, got, byDomain[dom])
+		}
+	}
+	if len(byDomain) != len(Domains()) {
+		t.Errorf("datasets span %d domains, Domains() lists %d", len(byDomain), len(Domains()))
+	}
+}
+
+// TestSeedsUnique enforces the seed contract's collision clause: no two
+// registry names may hash to the same generator seed, or two "different"
+// datasets would be the same data.
+func TestSeedsUnique(t *testing.T) {
+	seeds := make(map[int64]string)
+	for _, d := range AllExtended() {
+		s := Seed(d.Name)
+		if prev, ok := seeds[s]; ok {
+			t.Fatalf("seed collision: %q and %q both seed to %d", prev, d.Name, s)
+		}
+		seeds[s] = d.Name
+	}
+}
+
+// TestExtendedDeterministic asserts the reproducibility half of the
+// seed contract for every extended dataset: two Generate calls are
+// bit-identical, so gauntlet baselines mean the same data everywhere.
+func TestExtendedDeterministic(t *testing.T) {
+	for _, d := range Extended() {
+		a := d.Generate(4096)
+		b := d.Generate(4096)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s: non-deterministic generation at index %d: %v vs %v",
+					d.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDomainGeneratorsSane spot-checks that each new generator produces
+// the fingerprint its domain claims.
+func TestDomainGeneratorsSane(t *testing.T) {
+	const n = 8192
+	for _, d := range Extended() {
+		vals := d.Generate(n)
+		if len(vals) != n {
+			t.Fatalf("%s: generated %d values, want %d", d.Name, len(vals), n)
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite value %v at %d", d.Name, v, i)
+			}
+		}
+	}
+
+	util, _ := ByName("Obs/cpu-util")
+	for i, v := range util.Generate(n) {
+		if v < 0 || v > 100 {
+			t.Fatalf("Obs/cpu-util: value %v at %d outside [0,100]", v, i)
+		}
+	}
+
+	rss, _ := ByName("Obs/mem-rss")
+	rssVals := rss.Generate(n)
+	dups := 0
+	for i := 1; i < n; i++ {
+		if rssVals[i] < 0 {
+			t.Fatalf("Obs/mem-rss: negative gauge %v", rssVals[i])
+		}
+		if rssVals[i] == rssVals[i-1] {
+			dups++
+		}
+	}
+	if dups < n/2 {
+		t.Errorf("Obs/mem-rss: %d/%d adjacent duplicates, want plateau-heavy series", dups, n)
+	}
+
+	w32, _ := ByName("ML/weights-f32")
+	for i, v := range w32.Generate(n) {
+		if float64(float32(v)) != v {
+			t.Fatalf("ML/weights-f32: value %v at %d is not a widened float32", v, i)
+		}
+	}
+}

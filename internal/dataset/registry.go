@@ -2,11 +2,27 @@ package dataset
 
 import "math/rand"
 
+// Domain names group datasets the way FCBench groups float-compression
+// workloads: no codec wins across all of them, which is exactly the
+// adaptivity claim the cross-domain gauntlet (internal/gauntlet)
+// measures. The paper's Table 1 datasets map onto the time-series and
+// database domains; the HPC, observability and ML-weights domains are
+// synthesized additions (see domains.go).
+const (
+	DomainTimeSeries    = "timeseries"
+	DomainDB            = "db"
+	DomainHPC           = "hpc"
+	DomainObservability = "observability"
+	DomainML            = "ml"
+)
+
 // Dataset is one synthesized evaluation dataset.
 type Dataset struct {
 	Name       string
 	Semantics  string
 	TimeSeries bool
+	// Domain is the FCBench-style workload domain (Domain* constants).
+	Domain string
 	// RD marks the datasets the paper reports as falling back to ALP_rd.
 	RD  bool
 	gen func(r *rand.Rand, n int) []float64
@@ -18,24 +34,59 @@ type Dataset struct {
 // end-to-end experiments scale up by concatenation, as the paper does.
 const DefaultN = 204800
 
-// Generate produces n values. Generation is deterministic per dataset
-// name, so repeated runs and benchmarks see identical data.
-func (d Dataset) Generate(n int) []float64 {
+// Seed is the dataset seed contract: every dataset's generator is
+// seeded with Seed(name) — a base-131 polynomial hash of the dataset
+// name — and must derive ALL of its randomness from the *rand.Rand it
+// is passed (no global rand, no time, no per-call state). Two
+// consequences the gauntlet baselines rely on: (1) Generate(n) is
+// bit-identical across processes, machines and Go versions for a given
+// name, and (2) no two registry names may collide to the same seed
+// (asserted by TestSeedsUnique).
+func Seed(name string) int64 {
 	seed := int64(0)
-	for _, c := range d.Name {
+	for _, c := range name {
 		seed = seed*131 + int64(c)
 	}
-	return d.gen(rand.New(rand.NewSource(seed)), n)
+	return seed
 }
 
-// ByName returns the dataset with the given name.
+// Generate produces n values. Generation is deterministic per dataset
+// name (see Seed), so repeated runs and benchmarks see identical data.
+func (d Dataset) Generate(n int) []float64 {
+	return d.gen(rand.New(rand.NewSource(Seed(d.Name))), n)
+}
+
+// ByName returns the dataset with the given name, searching the full
+// extended registry (paper Table 1 plus the gauntlet domains).
 func ByName(name string) (Dataset, bool) {
-	for _, d := range All() {
+	for _, d := range AllExtended() {
 		if d.Name == name {
 			return d, true
 		}
 	}
 	return Dataset{}, false
+}
+
+// AllExtended returns every dataset: the paper's 30 (All) plus the
+// gauntlet's HPC, observability and ML-weights additions (Extended).
+func AllExtended() []Dataset {
+	return append(All(), Extended()...)
+}
+
+// Domains returns the workload domains in gauntlet order.
+func Domains() []string {
+	return []string{DomainHPC, DomainTimeSeries, DomainObservability, DomainDB, DomainML}
+}
+
+// ByDomain returns the extended-registry datasets in the given domain.
+func ByDomain(domain string) []Dataset {
+	var out []Dataset
+	for _, d := range AllExtended() {
+		if d.Domain == domain {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // All returns the 30 datasets in the order of Table 1/2. Each spec is
@@ -44,7 +95,7 @@ func ByName(name string) (Dataset, bool) {
 // exponent distribution (C9-C10, which for the Gov columns encodes the
 // fraction of exact zeros) and the time-series property.
 func All() []Dataset {
-	return []Dataset{
+	ds := []Dataset{
 		// ---- time series ----
 		{Name: "Air-Pressure", Semantics: "Barometric Pressure (kPa)", TimeSeries: true,
 			gen: genSpec{precMin: 0, precMax: 5, precAvg: 4.9, precStd: 0.3,
@@ -143,4 +194,15 @@ func All() []Dataset {
 			gen: genSpec{precMin: 0, precMax: 1, precAvg: 0.9, precStd: 0.2,
 				base: 446.0, spread: 450, dupFrac: 0.924}.generate},
 	}
+	// The paper's datasets split across two FCBench domains: the Table 1
+	// time series are the time-series domain, everything else (monetary,
+	// government workbooks, coordinates) is tabular database data.
+	for i := range ds {
+		if ds[i].TimeSeries {
+			ds[i].Domain = DomainTimeSeries
+		} else {
+			ds[i].Domain = DomainDB
+		}
+	}
+	return ds
 }

@@ -1,0 +1,291 @@
+package gauntlet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testDoc builds a two-domain, two-codec document whose every metric
+// is a round number, so tests can inject precise deltas.
+func testDoc() *Doc {
+	entry := func(ds, codec string) Entry {
+		return Entry{Dataset: ds, Codec: codec, BitsPerValue: 16, CompressMVs: 100, DecompressMVs: 400, FilterMVs: 250}
+	}
+	return &Doc{
+		SchemaVersion:  SchemaVersion,
+		Date:           "2026-08-08",
+		N:              4096,
+		Repetitions:    5,
+		NoiseBound:     0.02,
+		CalibrationMVs: 1000,
+		Domains: []DomainResult{
+			{
+				Domain:     "hpc",
+				Entries:    []Entry{entry("HPC/msg-sweep3d", "alp"), entry("HPC/msg-sweep3d", "gorilla")},
+				ServedScan: &ServedScan{Dataset: "HPC/msg-sweep3d", Rows: 2048, ScanMVs: 80},
+			},
+			{
+				Domain:  "ml",
+				Entries: []Entry{entry("ML/gradients", "alp"), entry("ML/gradients", "gorilla")},
+			},
+		},
+	}
+}
+
+// mutate deep-copies the doc through JSON and applies fn.
+func mutate(t *testing.T, doc *Doc, fn func(*Doc)) *Doc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	copyDoc, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(copyDoc)
+	return copyDoc
+}
+
+func TestCompareCases(t *testing.T) {
+	base := testDoc()
+	cases := []struct {
+		name    string
+		fresh   func(*Doc)
+		wantOK  bool
+		wantErr bool
+		// wantInDiff must all appear in the formatted report.
+		wantInDiff []string
+	}{
+		{
+			name:   "identical run passes",
+			fresh:  func(*Doc) {},
+			wantOK: true,
+		},
+		{
+			name: "15pct throughput regression detected with per-metric diff",
+			fresh: func(d *Doc) {
+				d.Domains[0].Entries[0].DecompressMVs = 400 * 0.85
+			},
+			wantOK: false,
+			wantInDiff: []string{
+				"REGRESSION", "hpc", "HPC/msg-sweep3d", "alp", "decompress_mvs",
+				"-15.0%", "limit -12.0%",
+			},
+		},
+		{
+			name: "11.5pct drop inside 10pct+noise tolerance passes",
+			fresh: func(d *Doc) {
+				// noise bound 0.02 on both sides -> limit is 12%.
+				d.Domains[0].Entries[0].CompressMVs = 100 * 0.885
+			},
+			wantOK: true,
+		},
+		{
+			name: "large improvement passes and is reported",
+			fresh: func(d *Doc) {
+				d.Domains[1].Entries[0].FilterMVs = 250 * 1.5
+			},
+			wantOK:     true,
+			wantInDiff: []string{"improvement", "ml", "filter_mvs", "+50.0%"},
+		},
+		{
+			name: "3pct ratio growth fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].Entries[1].BitsPerValue = 16 * 1.03
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "gorilla", "bits_per_value", "+3.0%", "limit +2.0%"},
+		},
+		{
+			name: "1pct ratio growth passes (noise never widens the ratio rule but 2pct covers it)",
+			fresh: func(d *Doc) {
+				d.Domains[0].Entries[1].BitsPerValue = 16 * 1.01
+			},
+			wantOK: true,
+		},
+		{
+			name: "missing entry fails",
+			fresh: func(d *Doc) {
+				d.Domains[1].Entries = d.Domains[1].Entries[:1]
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "ml", "gorilla", "missing from fresh run"},
+		},
+		{
+			name: "missing served scan fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].ServedScan = nil
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "served", "scan_mvs", "missing"},
+		},
+		{
+			name: "served scan row drift fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].ServedScan.Rows = 2047
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "served", "rows", "correctness drift"},
+		},
+		{
+			name: "served scan throughput regression fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].ServedScan.ScanMVs = 80 * 0.8
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "served", "scan_mvs", "-20.0%"},
+		},
+		{
+			name: "NaN ratio is invalid and fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].Entries[0].BitsPerValue = math.NaN()
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "invalid bits_per_value value in fresh run"},
+		},
+		{
+			name: "zero throughput is invalid and fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].Entries[0].CompressMVs = 0
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "invalid compress_mvs value in fresh run"},
+		},
+		{
+			name: "new fresh-only entry is a note, not a failure",
+			fresh: func(d *Doc) {
+				d.Domains[1].Entries = append(d.Domains[1].Entries,
+					Entry{Dataset: "ML/gradients", Codec: "elf", BitsPerValue: 20, CompressMVs: 50, DecompressMVs: 60, FilterMVs: 70})
+			},
+			wantOK:     true,
+			wantInDiff: []string{"note", "elf", "new entry, not in baseline"},
+		},
+		{
+			name: "machine-wide 30pct slowdown with matching calibration passes",
+			fresh: func(d *Doc) {
+				d.CalibrationMVs = 1000 * 0.7
+				for i := range d.Domains {
+					for j := range d.Domains[i].Entries {
+						e := &d.Domains[i].Entries[j]
+						e.CompressMVs *= 0.7
+						e.DecompressMVs *= 0.7
+						e.FilterMVs *= 0.7
+					}
+					if s := d.Domains[i].ServedScan; s != nil {
+						s.ScanMVs *= 0.7
+					}
+				}
+			},
+			wantOK:     true,
+			wantInDiff: []string{"calibration scale 0.700x", "slower"},
+		},
+		{
+			name: "codec-only 30pct slowdown with steady calibration still fails",
+			fresh: func(d *Doc) {
+				d.Domains[0].Entries[0].DecompressMVs = 400 * 0.7
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "decompress_mvs", "-30.0%"},
+		},
+		{
+			name: "calibration scale clamps so a wild reading cannot hide a real regression",
+			fresh: func(d *Doc) {
+				// Calibration claims the machine is 10x slower; the clamp
+				// holds the scale at 0.5, so a 70% drop is judged as
+				// 0.3/0.5 - 1 = -40% and still fails.
+				d.CalibrationMVs = 100
+				d.Domains[0].Entries[0].DecompressMVs = 400 * 0.3
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "decompress_mvs", "-40.0%", "calibration scale 0.500x"},
+		},
+		{
+			name: "document without calibration compares unscaled",
+			fresh: func(d *Doc) {
+				d.CalibrationMVs = 0
+				d.Domains[0].Entries[0].DecompressMVs = 400 * 0.85
+			},
+			wantOK:     false,
+			wantInDiff: []string{"REGRESSION", "decompress_mvs", "-15.0%"},
+		},
+		{
+			name: "schema version mismatch is an error",
+			fresh: func(d *Doc) {
+				d.SchemaVersion = SchemaVersion + 1
+			},
+			wantErr: true,
+		},
+		{
+			name: "values_per_dataset mismatch is an error",
+			fresh: func(d *Doc) {
+				d.N = 8192
+			},
+			wantErr: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := mutate(t, base, tc.fresh)
+			rep, err := Compare(base, fresh)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Compare: want error, got report OK=%v", rep.OK())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Compare: %v", err)
+			}
+			if rep.OK() != tc.wantOK {
+				var out bytes.Buffer
+				rep.Format(&out)
+				t.Fatalf("OK() = %v, want %v; report:\n%s", rep.OK(), tc.wantOK, out.String())
+			}
+			var out bytes.Buffer
+			rep.Format(&out)
+			for _, want := range tc.wantInDiff {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("report missing %q; report:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestNoiseAllowanceCapped: a run reporting absurd noise cannot grant
+// itself unlimited slack — the allowance caps at MaxNoiseAllowance.
+func TestNoiseAllowanceCapped(t *testing.T) {
+	base := testDoc()
+	fresh := mutate(t, base, func(d *Doc) {
+		d.NoiseBound = 0.9
+		d.Domains[0].Entries[0].DecompressMVs = 400 * 0.55 // -45%
+	})
+	rep, err := Compare(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThroughputTol != ThroughputTolerance+MaxNoiseAllowance {
+		t.Fatalf("tolerance %v, want capped %v", rep.ThroughputTol, ThroughputTolerance+MaxNoiseAllowance)
+	}
+	if rep.OK() {
+		t.Fatal("-45% drop passed under capped tolerance")
+	}
+}
+
+// TestCompareCountsAllMetrics pins the comparison surface: 4 metrics
+// per entry plus one served-scan metric per domain that has one.
+func TestCompareCountsAllMetrics(t *testing.T) {
+	base := testDoc()
+	rep, err := Compare(base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*4 + 1 // 4 entries x 4 metrics + 1 served scan
+	if rep.Compared != want {
+		t.Fatalf("Compared = %d, want %d", rep.Compared, want)
+	}
+}

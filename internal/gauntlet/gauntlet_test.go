@@ -1,0 +1,296 @@
+package gauntlet
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/goalp/alp/internal/dataset"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_gauntlet.json from the current schema")
+
+// smokeOptions keeps a full 5-domain x 9-codec measurement cheap
+// enough for the regular test run: two vectors per dataset, two
+// 200-microsecond windows per metric.
+func smokeOptions() Options {
+	return Options{N: 2048, MinDur: 200 * time.Microsecond, Reps: 2}
+}
+
+func TestSuiteResolvesAndCoversDomains(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 4 {
+		t.Fatalf("suite covers %d domains, want >= 4", len(suite))
+	}
+	domains := map[string]bool{}
+	for _, ds := range suite {
+		domains[ds.Domain] = true
+		if len(ds.Datasets) < 3 {
+			t.Errorf("domain %s has %d datasets, want >= 3", ds.Domain, len(ds.Datasets))
+		}
+		for _, name := range ds.Datasets {
+			d, ok := dataset.ByName(name)
+			if !ok {
+				t.Errorf("suite dataset %q not in registry", name)
+				continue
+			}
+			if d.Domain != ds.Domain {
+				t.Errorf("dataset %q registered under domain %q, suite lists it under %q", name, d.Domain, ds.Domain)
+			}
+		}
+	}
+	for _, dom := range dataset.Domains() {
+		if !domains[dom] {
+			t.Errorf("registry domain %q missing from suite", dom)
+		}
+	}
+	if got := len(CodecNames()); got != 9 {
+		t.Fatalf("gauntlet runs %d codecs, want 9", got)
+	}
+}
+
+// TestMeasureSmoke runs the real measurement end to end at toy sizes
+// and checks document shape and sanity: every domain x all 9 codecs,
+// finite positive metrics, a served scan per domain, and a self-compare
+// that passes the gate.
+func TestMeasureSmoke(t *testing.T) {
+	doc, err := Measure(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d, want %d", doc.SchemaVersion, SchemaVersion)
+	}
+	if doc.Repetitions != 2 {
+		t.Fatalf("repetitions %d, want 2", doc.Repetitions)
+	}
+	if doc.NoiseBound < 0 || math.IsNaN(doc.NoiseBound) {
+		t.Fatalf("noise bound %v", doc.NoiseBound)
+	}
+	if len(doc.Domains) < 4 {
+		t.Fatalf("measured %d domains, want >= 4", len(doc.Domains))
+	}
+	codecSet := map[string]bool{}
+	for _, c := range CodecNames() {
+		codecSet[c] = true
+	}
+	for _, dr := range doc.Domains {
+		perDataset := map[string]map[string]bool{}
+		for _, e := range dr.Entries {
+			if !codecSet[e.Codec] {
+				t.Errorf("%s/%s: unknown codec %q", dr.Domain, e.Dataset, e.Codec)
+			}
+			for name, v := range map[string]float64{
+				"bits_per_value": e.BitsPerValue, "compress_mvs": e.CompressMVs,
+				"decompress_mvs": e.DecompressMVs, "filter_mvs": e.FilterMVs,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Errorf("%s/%s %s: %s = %v", dr.Domain, e.Dataset, e.Codec, name, v)
+				}
+			}
+			if perDataset[e.Dataset] == nil {
+				perDataset[e.Dataset] = map[string]bool{}
+			}
+			perDataset[e.Dataset][e.Codec] = true
+		}
+		for ds, seen := range perDataset {
+			if len(seen) != 9 {
+				t.Errorf("%s/%s: %d codecs measured, want 9", dr.Domain, ds, len(seen))
+			}
+		}
+		if dr.ServedScan == nil {
+			t.Errorf("domain %s: no served scan point", dr.Domain)
+		} else if dr.ServedScan.ScanMVs <= 0 || dr.ServedScan.Rows <= 0 {
+			t.Errorf("domain %s: served scan %+v", dr.Domain, *dr.ServedScan)
+		}
+	}
+
+	rep, err := Compare(doc, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		var out bytes.Buffer
+		rep.Format(&out)
+		t.Fatalf("self-compare failed:\n%s", out.String())
+	}
+
+	// The acceptance scenario: inject a synthetic 15% decompress
+	// regression into a fresh copy and require the gate to catch it
+	// with a per-metric diff.
+	fresh := mutate(t, doc, func(d *Doc) {
+		d.Domains[0].Entries[0].DecompressMVs *= 0.85
+		// Pin documented noise so the tolerance is the deterministic
+		// 10% + 2% = 12% regardless of how noisy this test host is.
+		d.NoiseBound = 0.02
+	})
+	base := mutate(t, doc, func(d *Doc) { d.NoiseBound = 0.02 })
+	rep, err = Compare(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("synthetic 15% throughput regression was not detected")
+	}
+	var out bytes.Buffer
+	rep.Format(&out)
+	for _, want := range []string{"REGRESSION", "decompress_mvs", "-15.0%"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Errorf("regression report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The table writer must render every domain without panicking.
+	var table bytes.Buffer
+	WriteTable(&table, doc)
+	for _, dr := range doc.Domains {
+		if !bytes.Contains(table.Bytes(), []byte(dr.Domain)) {
+			t.Errorf("table missing domain %s", dr.Domain)
+		}
+	}
+}
+
+// TestDomainFilter restricts a run to one domain.
+func TestDomainFilter(t *testing.T) {
+	opt := smokeOptions()
+	opt.Domains = []string{dataset.DomainML}
+	doc, err := Measure(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Domains) != 1 || doc.Domains[0].Domain != dataset.DomainML {
+		t.Fatalf("domain filter produced %+v", doc.Domains)
+	}
+}
+
+// TestGoldenGauntletDoc pins the on-disk document schema: the checked-
+// in fixture must parse, survive a write-read round trip unchanged, and
+// re-encode byte-identically. Schema changes must bump SchemaVersion
+// and regenerate the fixture (go test ./internal/gauntlet
+// -run Golden -update-golden) — i.e. a conscious format break.
+func TestGoldenGauntletDoc(t *testing.T) {
+	path := filepath.Join("testdata", "golden_gauntlet.json")
+	if *updateGolden {
+		doc := testDoc()
+		var buf bytes.Buffer
+		if err := doc.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Fatalf("golden fixture does not re-encode byte-identically; run -update-golden after a conscious schema change")
+	}
+	again, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, again) {
+		t.Fatal("write-read round trip changed the document")
+	}
+	rep, err := Compare(doc, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatal("golden fixture fails self-comparison")
+	}
+}
+
+// TestGateRetries exercises the re-measure pass both ways. Toy-scale
+// windows on a loaded host can swing an order of magnitude between
+// runs, so the pass case uses a baseline slackened 100x below a real
+// measurement (any sane re-run clears it) and the fail case a baseline
+// 100x above (no re-run can reach it) — the retry machinery itself is
+// asserted via the progress log and the returned fresh document.
+func TestGateRetries(t *testing.T) {
+	opt := smokeOptions()
+	opt.Domains = []string{dataset.DomainTimeSeries}
+	base, err := Measure(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := func(factor float64) *Doc {
+		return mutate(t, base, func(d *Doc) {
+			for i := range d.Domains {
+				for j := range d.Domains[i].Entries {
+					e := &d.Domains[i].Entries[j]
+					e.CompressMVs *= factor
+					e.DecompressMVs *= factor
+					e.FilterMVs *= factor
+				}
+				if s := d.Domains[i].ServedScan; s != nil {
+					s.ScanMVs *= factor
+				}
+			}
+		})
+	}
+
+	var progress bytes.Buffer
+	_, rep, err := Gate(scaled(0.01), opt, 1, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		var out bytes.Buffer
+		rep.Format(&out)
+		t.Fatalf("gate vs 100x-slackened baseline failed:\n%s", out.String())
+	}
+
+	fresh, rep, err := Gate(scaled(100), opt, 1, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("gate vs 100x-throughput baseline passed")
+	}
+	if fresh == nil || len(fresh.Domains) != 1 {
+		t.Fatalf("gate returned fresh doc %+v", fresh)
+	}
+	if !bytes.Contains(progress.Bytes(), []byte("re-measuring")) {
+		t.Errorf("gate never reported a retry pass:\n%s", progress.String())
+	}
+}
+
+// TestFlaggedCells checks that only re-measurable regressions reach the
+// retry pass: codec cells and served points, deduplicated, with missing
+// entries and row-count drift excluded.
+func TestFlaggedCells(t *testing.T) {
+	rep := &Report{Regressions: []Diff{
+		{Domain: "hpc", Dataset: "a", Codec: "alp", Metric: "compress_mvs"},
+		{Domain: "hpc", Dataset: "a", Codec: "alp", Metric: "filter_mvs"},
+		{Domain: "hpc", Dataset: "b", Codec: "gorilla", Metric: "decompress_mvs"},
+		{Domain: "ml", Dataset: "c", Codec: "served", Metric: "scan_mvs"},
+		{Domain: "ml", Dataset: "c", Codec: "served", Metric: "rows",
+			Reason: "served scan row count changed on fixed-seed data (correctness drift)"},
+		{Domain: "db", Dataset: "d", Codec: "elf", Metric: "compress_mvs",
+			Reason: "present in baseline, missing from fresh run"},
+	}}
+	cells, served := flaggedCells(rep)
+	wantCells := []cellKey{{"hpc", "a", "alp"}, {"hpc", "b", "gorilla"}}
+	if !reflect.DeepEqual(cells, wantCells) {
+		t.Errorf("cells = %v, want %v", cells, wantCells)
+	}
+	if !reflect.DeepEqual(served, []string{"ml"}) {
+		t.Errorf("served = %v, want [ml]", served)
+	}
+}

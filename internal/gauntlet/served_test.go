@@ -1,0 +1,64 @@
+package gauntlet
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/goalp/alp/client"
+	"github.com/goalp/alp/internal/dataset"
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/server"
+)
+
+// TestServedGauntletSmoke is the served-path smoke behind `make
+// server-race`: one dataset per domain runs end to end — generate,
+// ingest over HTTP, scan through the negotiated ALPS wire — and the
+// decoded rows must be bit-identical to the in-process engine's
+// FilterRows, across every domain's value shapes (full-mantissa HPC
+// fields, zero-heavy workbooks, widened float32 weights). -short and
+// the race detector are both respected: the dataset size is small and
+// there is no timing assertion.
+func TestServedGauntletSmoke(t *testing.T) {
+	n := 4 * 1024
+	if testing.Short() {
+		n = 2048
+	}
+
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	for _, ds := range Suite() {
+		name := ds.Datasets[0]
+		t.Run(ds.Domain, func(t *testing.T) {
+			d, ok := dataset.ByName(name)
+			if !ok {
+				t.Fatalf("dataset %q not in registry", name)
+			}
+			values := d.Generate(n)
+			lo, hi := midRange(values)
+
+			if _, err := cl.Ingest(ctx, ds.Domain, values); err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+			got, err := cl.Scan(ctx, ds.Domain, client.Between(lo, hi))
+			if err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+			want := engine.BuildALP(values).FilterRows(engine.Between(lo, hi))
+			if len(got) != len(want) {
+				t.Fatalf("served scan returned %d rows, in-process %d", len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("row %d: served %x, in-process %x", i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		})
+	}
+}
