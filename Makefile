@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race gauntlet gauntlet-check check clean
+.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race mon-smoke lint gauntlet gauntlet-check check clean
 
 all: check
 
@@ -53,6 +53,30 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/alpserved
 
+# End-to-end smoke of the self-telemetry history: boot alpserved with a
+# 10ms scrape interval and a small window so sealing happens within the
+# run, drive traffic, range-query /v1/metrics/history through the typed
+# client asserting non-empty bit-identical results across repeated
+# reads, then verify the shutdown ALPM snapshot round-trips through
+# `alpfile metrics`.
+mon-smoke:
+	$(GO) test -run TestMonSmoke -count=1 -v ./cmd/alpserved
+
+# Static analysis beyond vet: staticcheck and govulncheck when the
+# tools are installed, skipped with a notice otherwise (the CI lint job
+# installs them; local runs shouldn't fail on a missing binary).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # The server integration tests (shedding, drain, retry, end-to-end
 # bit-identity, and the served-scan differential battery with its
 # selectivity sweep × edge datasets) under the race detector — the
@@ -82,7 +106,7 @@ gauntlet-check:
 	$(GO) run ./cmd/alpgauntlet -check BENCH_gauntlet.json
 
 # The full PR gate, mirrored by .github/workflows/ci.yml.
-check: vet build test race bench-smoke serve-smoke server-race fuzz-smoke
+check: vet build test race bench-smoke serve-smoke mon-smoke server-race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

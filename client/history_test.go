@@ -1,0 +1,99 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestMetricsHistoryParsing pins the wire contract: query parameters
+// the client must send, and exact float64 recovery of the stringly
+// values the server emits.
+func TestMetricsHistoryParsing(t *testing.T) {
+	exact := 0.1 + 0.2 // famously not 0.3: round-trips only via 'g'/-1
+	var gotQuery map[string][]string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics/history" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		gotQuery = r.URL.Query()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"metric": "server_requests", "agg": "sum",
+			"since_us": 100, "until_us": 200, "step_us": 50,
+			"points": []map[string]any{
+				{"ts_us": 100, "value": strconv.FormatFloat(exact, 'g', -1, 64), "count": 3},
+				{"ts_us": 150, "value": "-Inf", "count": 1},
+			},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	since := time.UnixMicro(1_754_600_000_123_456)
+	until := since.Add(time.Minute)
+	res, err := c.MetricsHistory(context.Background(), "server_requests", since, until, 10*time.Second, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{
+		"metric": "server_requests",
+		"since":  "1754600000.123456",
+		"until":  "1754600060.123456",
+		"step":   "10s",
+		"agg":    "sum",
+	} {
+		if got := gotQuery[k]; len(got) != 1 || got[0] != want {
+			t.Errorf("query %s = %v, want %q", k, got, want)
+		}
+	}
+	if len(res.Points) != 2 || res.StepUs != 50 {
+		t.Fatalf("result = %+v", res)
+	}
+	if math.Float64bits(res.Points[0].Value) != math.Float64bits(exact) {
+		t.Fatalf("value %v did not round-trip %v exactly", res.Points[0].Value, exact)
+	}
+	if !math.IsInf(res.Points[1].Value, -1) {
+		t.Fatalf("±Inf did not survive the wire: %v", res.Points[1].Value)
+	}
+	if res.Points[0].TsUs != 100 || res.Points[0].Count != 3 {
+		t.Fatalf("point 0 = %+v", res.Points[0])
+	}
+}
+
+func TestMetricsSeriesAndDisabled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"series": []string{"a", "b"},
+			"stats":  map[string]any{"series": 2, "scrapes": 7, "bits_per_value": 1.5},
+		})
+	}))
+	defer ts.Close()
+	series, stats, err := New(ts.URL).MetricsSeries(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || stats.Scrapes != 7 || stats.BitsPerValue != 1.5 {
+		t.Fatalf("series=%v stats=%+v", series, stats)
+	}
+
+	// A recorder-off server answers 404 with a JSON error body; the
+	// client surfaces it as an APIError, not a parse failure.
+	off := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"metrics history is disabled"}`))
+	}))
+	defer off.Close()
+	_, _, err = New(off.URL, WithRetries(0)).MetricsSeries(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("disabled server error = %v, want 404 APIError", err)
+	}
+}

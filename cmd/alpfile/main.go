@@ -11,10 +11,14 @@
 //	alpfile [-text] decompress input.alp  output.bin
 //	alpfile stat input.alp
 //	alpfile [-v] inspect input.alp
+//	alpfile [-json] [-metric a,b] metrics snapshot.alpm [output]
 //
 // inspect prints a per-row-group report of every adaptive decision the
 // encoder made — scheme, (e,f) candidates, bit widths, exception
 // counts, compressed bytes — and with -v a per-vector breakdown.
+//
+// metrics dumps an alpserved self-telemetry snapshot (written with
+// -metrics-snapshot) to CSV (metric,ts_us,value) or JSON.
 package main
 
 import (
@@ -36,8 +40,11 @@ func main() {
 	text := flag.Bool("text", false, "treat raw files as text, one value per line")
 	verbose := flag.Bool("v", false, "inspect: also print the per-vector breakdown")
 	workers := flag.Int("workers", 0, "encode/decode worker count (0 = one per CPU, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "metrics: dump as JSON instead of CSV")
+	metric := flag.String("metric", "", "metrics: dump only these comma-separated series (default all)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: alpfile [-text] [-v] [-workers N] compress|decompress|stat|inspect <input> [output]")
+		fmt.Fprintln(os.Stderr, "       alpfile [-json] [-metric a,b] metrics <snapshot.alpm> [output]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +63,8 @@ func main() {
 		err = stat(args[1])
 	case "inspect":
 		err = inspect(os.Stdout, args[1], *verbose)
+	case "metrics":
+		err = metricsCmd(args[1], arg(args, 2), *jsonOut, *metric)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,104 @@
+// The metrics subcommand: dump an ALPM metrics-history snapshot
+// (written by alpserved -metrics-snapshot) to CSV or JSON. The sealed
+// windows are decoded through the same ALP reader the server queries
+// with, so the dump is the exact recorded history, bit for bit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/goalp/alp/internal/metricstore"
+)
+
+// metricsCmd reads snapPath and writes the history to outPath ("" or
+// "-" = stdout). metric filters to a comma-separated list of series
+// (empty = all). jsonOut selects JSON over the default CSV.
+func metricsCmd(snapPath, outPath string, jsonOut bool, metric string) error {
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		return err
+	}
+	st, err := metricstore.ReadStore(data)
+	if err != nil {
+		return err
+	}
+
+	names := st.Names()
+	if metric != "" {
+		names = strings.Split(metric, ",")
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" && outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	if jsonOut {
+		return writeMetricsJSON(w, st, names)
+	}
+	return writeMetricsCSV(w, st, names)
+}
+
+// writeMetricsCSV emits long-format CSV: metric,ts_us,value — one row
+// per retained sample, values in shortest-round-trip form.
+func writeMetricsCSV(w *bufio.Writer, st *metricstore.Store, names []string) error {
+	if _, err := fmt.Fprintln(w, "metric,ts_us,value"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		ts, vals, err := st.Raw(name)
+		if err != nil {
+			return err
+		}
+		for i := range ts {
+			fmt.Fprintf(w, "%s,%d,%s\n", name, int64(ts[i]), strconv.FormatFloat(vals[i], 'g', -1, 64))
+		}
+	}
+	return w.Flush()
+}
+
+// metricsDump is the JSON shape: store footprint plus one entry per
+// series with parallel timestamp/value arrays.
+type metricsDump struct {
+	Stats  metricstore.Stats  `json:"stats"`
+	Series []metricsDumpEntry `json:"series"`
+}
+
+type metricsDumpEntry struct {
+	Metric string    `json:"metric"`
+	TsUs   []int64   `json:"ts_us"`
+	Values []float64 `json:"values"`
+}
+
+func writeMetricsJSON(w *bufio.Writer, st *metricstore.Store, names []string) error {
+	dump := metricsDump{Stats: st.Stats(), Series: make([]metricsDumpEntry, 0, len(names))}
+	for _, name := range names {
+		ts, vals, err := st.Raw(name)
+		if err != nil {
+			return err
+		}
+		e := metricsDumpEntry{Metric: name, TsUs: make([]int64, len(ts)), Values: vals}
+		for i := range ts {
+			e.TsUs[i] = int64(ts[i])
+		}
+		dump.Series = append(dump.Series, e)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(dump); err != nil {
+		return err
+	}
+	return w.Flush()
+}

@@ -1,8 +1,12 @@
 // Command alpserved serves ALP-compressed columns over HTTP: streaming
 // ingest into the parallel Writer, server-side predicate pushdown
 // (agg/count/scan), raw encoded-vector shipping for thin clients, and
-// the codec-wide metrics endpoint. See internal/server for the API and
-// the client package for the typed Go client.
+// the codec-wide metrics endpoint. With -metrics-history the server
+// also records its own telemetry into an ALP-compressed time-series
+// store (internal/metricstore) queryable at /v1/metrics/history, and
+// writes an ALPM snapshot on shutdown when -metrics-snapshot is set.
+// See internal/server for the API and the client package for the typed
+// Go client.
 //
 // Usage:
 //
@@ -27,10 +31,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"github.com/goalp/alp"
+	"github.com/goalp/alp/internal/metricstore"
 	"github.com/goalp/alp/internal/server"
 )
 
@@ -66,10 +72,28 @@ func main() {
 		accLog  = flag.String("access-log", "", "write a structured JSON access-log line per request to this file (\"-\" = stderr)")
 		slowLog = flag.String("slow-log", "", "write slow-query lines to this file (\"-\" = stderr)")
 		slowAt  = flag.Duration("slow-threshold", 250*time.Millisecond, "requests at least this slow go to the slow-query log")
+
+		monOn       = flag.Bool("metrics-history", false, "record the server's own telemetry into an ALP-compressed history store (GET /v1/metrics/history)")
+		monInterval = flag.Duration("metrics-interval", 10*time.Second, "scrape period of the metrics-history recorder")
+		monRetain   = flag.Int64("metrics-retention", 4<<20, "compressed budget for sealed history windows in bytes; oldest windows are evicted past it")
+		monWindow   = flag.Int("metrics-window", 512, "scrapes per sealed history window")
+		monBuckets  = flag.Bool("metrics-buckets", false, "also record per-bucket histogram series (~6x more series)")
+		monSnap     = flag.String("metrics-snapshot", "", "write an ALPM snapshot of the history store to this file on shutdown (read with: alpfile metrics)")
 	)
 	flag.Parse()
 
 	alp.EnableStats()
+	var mon *metricstore.Store
+	if *monOn {
+		mon = metricstore.New(metricstore.Options{
+			Interval:         *monInterval,
+			WindowSamples:    *monWindow,
+			RetentionBytes:   *monRetain,
+			HistogramBuckets: *monBuckets,
+		})
+		mon.ScrapeOnce() // a first sample before any traffic: history is never empty
+		mon.Start()
+	}
 	srv := server.New(server.Options{
 		MaxConcurrent:      *maxConc,
 		RequestTimeout:     *timeout,
@@ -80,6 +104,7 @@ func main() {
 		AccessLog:          openLog(*accLog),
 		SlowQueryLog:       openLog(*slowLog),
 		SlowQueryThreshold: *slowAt,
+		MetricsHistory:     mon,
 	})
 
 	mux := http.NewServeMux()
@@ -129,5 +154,34 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "alpserved: shutdown:", err)
 	}
+	if mon != nil {
+		mon.Stop()
+		mon.ScrapeOnce() // final sample so the snapshot covers the full run
+		if *monSnap != "" {
+			if err := writeSnapshot(mon, *monSnap); err != nil {
+				fmt.Fprintln(os.Stderr, "alpserved: metrics snapshot:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "alpserved: metrics snapshot written to %s\n", *monSnap)
+			}
+		}
+	}
 	fmt.Fprintln(os.Stderr, "alpserved: stopped")
+}
+
+// writeSnapshot persists the history store in ALPM format, atomically
+// (write to a temp file in the same directory, then rename).
+func writeSnapshot(mon *metricstore.Store, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := mon.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/goalp/alp/client"
+)
+
+// TestMonSmoke is the end-to-end metrics-history smoke run behind
+// `make mon-smoke`: boot the real binary with a 10ms scrape interval,
+// drive traffic, range-query the self-telemetry history through the
+// typed client, and assert non-empty, bit-identical results across
+// repeated queries of the same fixed range — sealed-window migration
+// between the two reads must not change a single bit. Shutdown writes
+// an ALPM snapshot, which the alpfile metrics dumper then reads back.
+func TestMonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build+boot skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "alpserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building alpserved: %v", err)
+	}
+	snap := filepath.Join(dir, "history.alpm")
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-metrics-history",
+		"-metrics-interval", "10ms",
+		"-metrics-window", "64",
+		"-metrics-snapshot", snap,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting alpserved: %v", err)
+	}
+	waitDone := make(chan struct{})
+	var waitErr error
+	go func() { waitErr = cmd.Wait(); close(waitDone) }()
+	defer func() {
+		cmd.Process.Kill()
+		<-waitDone
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("alpserved never reported its address (scan err: %v)", sc.Err())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := client.New("http://" + addr)
+
+	// Drive traffic while the 10ms recorder scrapes underneath, long
+	// enough for at least one 64-sample window to seal (~640ms).
+	values := make([]float64, 8192)
+	for i := range values {
+		values[i] = float64(i % 1000)
+	}
+	if _, err := cl.Ingest(ctx, "mon", values); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := cl.Agg(ctx, "mon", client.Between(10, 500)); err != nil {
+			t.Fatalf("agg: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	series, stats, err := cl.MetricsSeries(ctx)
+	if err != nil {
+		t.Fatalf("series listing: %v", err)
+	}
+	if len(series) == 0 || stats.Scrapes == 0 {
+		t.Fatalf("empty history: %d series, %d scrapes", len(series), stats.Scrapes)
+	}
+	if stats.SealedWindows == 0 {
+		t.Fatalf("no sealed windows after %d scrapes at window 64", stats.Scrapes)
+	}
+	if stats.BitsPerValue <= 0 || stats.BitsPerValue >= 64 {
+		t.Fatalf("bits/value = %v, want a real compression ratio in (0, 64)", stats.BitsPerValue)
+	}
+
+	// Fixed range ending now: querying it twice must be bit-identical
+	// even though scrapes continue and windows seal between the reads.
+	until := time.Now()
+	since := until.Add(-time.Minute)
+	q := func() client.HistoryResult {
+		t.Helper()
+		res, err := cl.MetricsHistory(ctx, "server_requests", since, until, 100*time.Millisecond, "sum")
+		if err != nil {
+			t.Fatalf("history query: %v", err)
+		}
+		return res
+	}
+	r1, r2 := q(), q()
+	if len(r1.Points) == 0 {
+		t.Fatal("history query returned no points")
+	}
+	if len(r1.Points) != len(r2.Points) {
+		t.Fatalf("repeated query: %d then %d points", len(r1.Points), len(r2.Points))
+	}
+	var total float64
+	for i := range r1.Points {
+		if r1.Points[i].TsUs != r2.Points[i].TsUs ||
+			math.Float64bits(r1.Points[i].Value) != math.Float64bits(r2.Points[i].Value) ||
+			r1.Points[i].Count != r2.Points[i].Count {
+			t.Fatalf("repeated query diverged at point %d: %+v != %+v", i, r1.Points[i], r2.Points[i])
+		}
+		total += r1.Points[i].Value
+	}
+	if total == 0 {
+		t.Fatal("server_requests deltas sum to zero despite driven traffic")
+	}
+
+	// Graceful shutdown writes the ALPM snapshot.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling: %v", err)
+	}
+	select {
+	case <-waitDone:
+		if waitErr != nil {
+			t.Fatalf("alpserved exited uncleanly: %v", waitErr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("alpserved did not exit after SIGTERM")
+	}
+
+	// The alpfile dumper reads the snapshot back.
+	alpfile := filepath.Join(dir, "alpfile")
+	build = exec.Command("go", "build", "-o", alpfile, "../alpfile")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building alpfile: %v", err)
+	}
+	out, err := exec.Command(alpfile, "-metric", "server_requests", "metrics", snap).Output()
+	if err != nil {
+		t.Fatalf("alpfile metrics: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) < 2 || lines[0] != "metric,ts_us,value" {
+		t.Fatalf("alpfile metrics dump:\n%s", out)
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasPrefix(line, "server_requests,") {
+			t.Fatalf("unexpected dump row %q", line)
+		}
+	}
+}

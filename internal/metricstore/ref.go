@@ -1,0 +1,109 @@
+// Ref is the uncompressed reference recorder the differential tests
+// hold the compressed Store against. It mirrors the Store's window
+// discipline exactly — same schema extraction, same seal boundaries,
+// same per-(segment, bucket) partial folds merged in time order — but
+// keeps every sample in plain float64 slices and never touches the
+// ALP writer, reader, or engine pushdown. Any bitwise divergence
+// between Store.Query and Ref.Query is therefore introduced by the
+// compressed path: an encode/decode round-trip error or a pushdown
+// kernel folding in a different order.
+//
+// Ref never evicts; differential tests that exercise the Store's
+// retention budget must query with since >= the Store's earliest
+// retained timestamp, which excludes evicted samples on both sides.
+package metricstore
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/goalp/alp/internal/obs"
+)
+
+// refSegment is one sealed window's worth of raw samples.
+type refSegment struct {
+	ts   []float64
+	vals [][]float64 // [series][sample]
+}
+
+// Ref is the reference recorder. Not safe for concurrent use — it is
+// a test oracle, driven in lockstep with the Store under test.
+type Ref struct {
+	names          []string
+	index          map[string]int
+	windowSamples  int
+	includeBuckets bool
+
+	prev   obs.Snapshot
+	sealed []refSegment
+	hotTs  []float64
+	hot    [][]float64
+}
+
+// NewRef builds a reference recorder with the same schema and window
+// discipline as a Store built from opts.
+func NewRef(opts Options) *Ref {
+	opts = opts.withDefaults()
+	names := seriesNames(opts.HistogramBuckets)
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	return &Ref{
+		names:          names,
+		index:          index,
+		windowSamples:  opts.WindowSamples,
+		includeBuckets: opts.HistogramBuckets,
+		hot:            make([][]float64, len(names)),
+	}
+}
+
+// Scrape records one snapshot at tsUs (unix micros), mirroring
+// Store.appendLocked.
+func (r *Ref) Scrape(tsUs float64, cur obs.Snapshot) {
+	samples := extractSamples(nil, cur, r.prev, r.includeBuckets)
+	r.prev = cur
+	r.hotTs = append(r.hotTs, tsUs)
+	for i := range r.hot {
+		r.hot[i] = append(r.hot[i], samples[i])
+	}
+	if len(r.hotTs) >= r.windowSamples {
+		r.seal()
+	}
+}
+
+// Flush seals the partial tail, mirroring Store.Flush.
+func (r *Ref) Flush() {
+	if len(r.hotTs) > 0 {
+		r.seal()
+	}
+}
+
+func (r *Ref) seal() {
+	seg := refSegment{ts: r.hotTs, vals: make([][]float64, len(r.hot))}
+	copy(seg.vals, r.hot)
+	r.sealed = append(r.sealed, seg)
+	r.hotTs = nil
+	for i := range r.hot {
+		r.hot[i] = nil
+	}
+}
+
+// Query aggregates one series with the same segmentation and fold
+// order as Store.Query, over raw slices.
+func (r *Ref) Query(metric string, sinceUs, untilUs int64, step time.Duration, agg AggKind) ([]Point, error) {
+	idx, ok := r.index[metric]
+	if !ok {
+		return nil, fmt.Errorf("metricstore: unknown metric %q", metric)
+	}
+	stepUs, err := validateRange(sinceUs, untilUs, step)
+	if err != nil {
+		return nil, err
+	}
+	accs := make(map[int64]*bucketAcc)
+	for _, seg := range r.sealed {
+		foldSpan(accs, seg.ts, seg.vals[idx], 0, len(seg.ts), sinceUs, untilUs, stepUs)
+	}
+	foldSpan(accs, r.hotTs, r.hot[idx], 0, len(r.hotTs), sinceUs, untilUs, stepUs)
+	return finish(accs, sinceUs, stepUs, agg), nil
+}

@@ -1,0 +1,331 @@
+// Package metricstore is alpserved's self-hosted metrics history: a
+// background recorder that scrapes the process's own obs collector on
+// a fixed interval, buffers the resulting per-series samples in flat
+// hot-tail slices, seals every full window of WindowSamples scrapes
+// into ALP-compressed columns (one timestamp column plus one column
+// per series, through the exact writer/decoder pipeline the server
+// ships to users), and evicts the oldest sealed windows once the
+// compressed footprint exceeds a retention budget.
+//
+// Timestamps are stored as float64 unix microseconds. Integers up to
+// 2^53 are exactly representable in a float64 and unix-micro
+// timestamps stay below that until the year ~2255, so the encoding is
+// lossless, and integral microsecond counts are exactly the
+// decimal-scaled doubles ALP compresses best.
+//
+// Range queries (Query) run over the sealed windows via the engine's
+// filtered-aggregate pushdown and over the hot tail by plain folds,
+// with deterministic per-segment partials merged in time order — the
+// contract the reference recorder in ref.go mirrors bit for bit.
+package metricstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	alp "github.com/goalp/alp"
+	"github.com/goalp/alp/internal/obs"
+)
+
+// Default knobs; see Options.
+const (
+	DefaultInterval       = 10 * time.Second
+	DefaultWindowSamples  = 512
+	DefaultRetentionBytes = 4 << 20
+)
+
+// Options configures a Store. The zero value is usable: every field
+// has a sensible default.
+type Options struct {
+	// Interval is the scrape period of the background recorder
+	// (Start). Defaults to DefaultInterval.
+	Interval time.Duration
+
+	// WindowSamples is the number of scrapes per sealed window.
+	// Defaults to DefaultWindowSamples. At the default 10s interval a
+	// window covers ~85 minutes.
+	WindowSamples int
+
+	// RetentionBytes bounds the compressed footprint of sealed
+	// windows; once exceeded, whole oldest windows are evicted until
+	// the store fits (the newest sealed window is never evicted).
+	// Defaults to DefaultRetentionBytes.
+	RetentionBytes int64
+
+	// HistogramBuckets adds one series per histogram bucket
+	// (<hist>_bucket<i> per-scrape increments) on top of the
+	// count/sum/quantile series. Multiplies the series count ~6x.
+	HistogramBuckets bool
+
+	// Source supplies the snapshot each scrape diffs against the
+	// previous one. Defaults to obs.Active().Snapshot. Tests inject
+	// synthetic sources here.
+	Source func() obs.Snapshot
+
+	// Now supplies scrape timestamps. Defaults to time.Now. Tests
+	// inject deterministic clocks here.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.WindowSamples <= 0 {
+		o.WindowSamples = DefaultWindowSamples
+	}
+	if o.RetentionBytes <= 0 {
+		o.RetentionBytes = DefaultRetentionBytes
+	}
+	if o.Source == nil {
+		o.Source = func() obs.Snapshot { return obs.Active().Snapshot() }
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// window is one sealed block of WindowSamples (or fewer, if sealed by
+// Flush) scrapes: a compressed timestamp column plus one compressed
+// column per series, all column-aligned. Windows are immutable after
+// sealing, so queries read them without holding the store lock.
+type window struct {
+	n       int     // samples in this window
+	firstUs float64 // first and last timestamp, unix micros
+	lastUs  float64
+	ts      *alp.Column
+	cols    []*alp.Column // one per series, schema order
+	bytes   int64         // compressed payload footprint (ts + all series)
+}
+
+// Store is the metrics-history recorder. All methods are safe for
+// concurrent use.
+type Store struct {
+	opts  Options
+	names []string
+	index map[string]int
+
+	mu          sync.Mutex
+	prev        obs.Snapshot // last scraped snapshot (delta base)
+	hotTs       []float64    // unsealed tail, unix micros
+	hot         [][]float64  // [series][sample], aligned with hotTs
+	sealed      []*window    // oldest first
+	sealedBytes int64
+
+	scrapes   int64
+	seals     int64
+	evictions int64
+
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New builds a Store. It performs no scraping until Start or
+// ScrapeOnce is called.
+func New(opts Options) *Store {
+	opts = opts.withDefaults()
+	names := seriesNames(opts.HistogramBuckets)
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	return &Store{
+		opts:  opts,
+		names: names,
+		index: index,
+		hot:   make([][]float64, len(names)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Names returns the series schema in stable order. The returned slice
+// is shared; callers must not mutate it.
+func (st *Store) Names() []string { return st.names }
+
+// Interval returns the configured scrape period.
+func (st *Store) Interval() time.Duration { return st.opts.Interval }
+
+// Start launches the background recorder goroutine. Safe to call once;
+// subsequent calls are no-ops.
+func (st *Store) Start() {
+	st.startOnce.Do(func() {
+		go func() {
+			defer close(st.done)
+			t := time.NewTicker(st.opts.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-st.stop:
+					return
+				case <-t.C:
+					st.ScrapeOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the background recorder and waits for it to exit. Safe to
+// call multiple times, and safe even if Start was never called.
+func (st *Store) Stop() {
+	st.stopOnce.Do(func() { close(st.stop) })
+	st.startOnce.Do(func() { close(st.done) }) // never started: nothing to wait for
+	<-st.done
+}
+
+// ScrapeOnce performs one scrape: snapshot the source, append the
+// per-series deltas to the hot tail, and seal a window if the tail is
+// full. Exposed so tests (and the flush path) can drive the recorder
+// deterministically.
+func (st *Store) ScrapeOnce() {
+	cur := st.opts.Source()
+	tsUs := float64(st.opts.Now().UnixMicro())
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.appendLocked(tsUs, cur)
+}
+
+func (st *Store) appendLocked(tsUs float64, cur obs.Snapshot) {
+	samples := extractSamples(nil, cur, st.prev, st.opts.HistogramBuckets)
+	st.prev = cur
+	st.hotTs = append(st.hotTs, tsUs)
+	for i := range st.hot {
+		st.hot[i] = append(st.hot[i], samples[i])
+	}
+	st.scrapes++
+	if len(st.hotTs) >= st.opts.WindowSamples {
+		st.sealLocked()
+	}
+}
+
+// Flush seals the partial hot tail into a window. A no-op when the
+// tail is empty — an empty window is never created.
+func (st *Store) Flush() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.hotTs) > 0 {
+		st.sealLocked()
+	}
+}
+
+// sealLocked compresses the hot tail into a sealed window, resets the
+// tail, and applies the retention budget. Caller holds st.mu and
+// guarantees the tail is non-empty.
+func (st *Store) sealLocked() {
+	w := &window{
+		n:       len(st.hotTs),
+		firstUs: st.hotTs[0],
+		lastUs:  st.hotTs[len(st.hotTs)-1],
+		ts:      alp.Compress(st.hotTs),
+		cols:    make([]*alp.Column, len(st.hot)),
+	}
+	w.bytes = int64(w.ts.CompressedSize())
+	for i := range st.hot {
+		w.cols[i] = alp.Compress(st.hot[i])
+		w.bytes += int64(w.cols[i].CompressedSize())
+	}
+	// Fresh tail buffers: the sealed columns were built from the old
+	// slices, which are now garbage; reusing them would be safe today
+	// but fragile against a writer that ever aliases its input.
+	st.hotTs = nil
+	for i := range st.hot {
+		st.hot[i] = nil
+	}
+	st.sealed = append(st.sealed, w)
+	st.sealedBytes += w.bytes
+	st.seals++
+	for len(st.sealed) > 1 && st.sealedBytes > st.opts.RetentionBytes {
+		st.sealedBytes -= st.sealed[0].bytes
+		st.sealed[0] = nil
+		st.sealed = st.sealed[1:]
+		st.evictions++
+	}
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	Series         int     `json:"series"`
+	Scrapes        int64   `json:"scrapes"`
+	SealedWindows  int     `json:"sealed_windows"`
+	SealedSamples  int64   `json:"sealed_samples"` // scrapes held in sealed windows
+	HotSamples     int     `json:"hot_samples"`    // scrapes in the unsealed tail
+	SealedBytes    int64   `json:"sealed_bytes"`
+	RetentionBytes int64   `json:"retention_bytes"`
+	Evictions      int64   `json:"evictions"`
+	BitsPerValue   float64 `json:"bits_per_value"` // compressed bits per stored value (sealed)
+	EarliestUs     int64   `json:"earliest_us"`    // oldest retained timestamp (0 when empty)
+	LatestUs       int64   `json:"latest_us"`      // newest retained timestamp (0 when empty)
+	IntervalMs     int64   `json:"interval_ms"`
+	WindowSamples  int     `json:"window_samples"`
+}
+
+// Stats reports the current footprint and coverage of the store.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		Series:         len(st.names),
+		Scrapes:        st.scrapes,
+		SealedWindows:  len(st.sealed),
+		HotSamples:     len(st.hotTs),
+		SealedBytes:    st.sealedBytes,
+		RetentionBytes: st.opts.RetentionBytes,
+		Evictions:      st.evictions,
+		IntervalMs:     st.opts.Interval.Milliseconds(),
+		WindowSamples:  st.opts.WindowSamples,
+	}
+	for _, w := range st.sealed {
+		s.SealedSamples += int64(w.n)
+	}
+	if vals := s.SealedSamples * int64(len(st.names)+1); vals > 0 {
+		s.BitsPerValue = float64(st.sealedBytes*8) / float64(vals)
+	}
+	switch {
+	case len(st.sealed) > 0:
+		s.EarliestUs = int64(st.sealed[0].firstUs)
+	case len(st.hotTs) > 0:
+		s.EarliestUs = int64(st.hotTs[0])
+	}
+	switch {
+	case len(st.hotTs) > 0:
+		s.LatestUs = int64(st.hotTs[len(st.hotTs)-1])
+	case len(st.sealed) > 0:
+		s.LatestUs = int64(st.sealed[len(st.sealed)-1].lastUs)
+	}
+	return s
+}
+
+// Raw returns every retained sample of one series in time order —
+// sealed windows decoded through the ALP reader, then the hot tail.
+// Used by the alpfile metrics dumper and by tests.
+func (st *Store) Raw(metric string) (ts, values []float64, err error) {
+	idx, ok := st.index[metric]
+	if !ok {
+		return nil, nil, fmt.Errorf("metricstore: unknown metric %q", metric)
+	}
+	wins, hotTs, hotVals := st.snapshotSegments(idx)
+	for _, w := range wins {
+		ts = append(ts, w.ts.Values()...)
+		values = append(values, w.cols[idx].Values()...)
+	}
+	ts = append(ts, hotTs...)
+	values = append(values, hotVals...)
+	return ts, values, nil
+}
+
+// snapshotSegments captures a consistent read view under the lock:
+// the sealed-window list (immutable windows, so the slice copy alone
+// is enough) plus a copy of the hot tail for one series.
+func (st *Store) snapshotSegments(idx int) (wins []*window, hotTs, hotVals []float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	wins = append(wins, st.sealed...)
+	hotTs = append(hotTs, st.hotTs...)
+	hotVals = append(hotVals, st.hot[idx]...)
+	return wins, hotTs, hotVals
+}

@@ -14,7 +14,6 @@ package obs
 import (
 	"fmt"
 	"math/bits"
-	"strings"
 	"sync/atomic"
 )
 
@@ -38,6 +37,7 @@ const (
 	HistData                  // GET .../data
 	HistVectors               // GET .../vectors/{i}
 	HistMeta                  // list / info / delete
+	HistHistory               // GET /v1/metrics/history
 
 	// Engine and codec stages (one kernel call = one sample).
 	HistStageEncode     // row-group encode (sampling + vector encodes)
@@ -62,6 +62,7 @@ var histNames = [NumHists]string{
 	HistData:            "lat_data",
 	HistVectors:         "lat_vectors",
 	HistMeta:            "lat_meta",
+	HistHistory:         "lat_history",
 	HistStageEncode:     "stage_encode",
 	HistStageUnpack:     "stage_unpack",
 	HistStageFilter:     "stage_filter",
@@ -169,6 +170,35 @@ func (s *HistSnapshot) Merge(other HistSnapshot) {
 	}
 }
 
+// Delta returns the growth of the histogram between two scrapes of the
+// same collector: per-bucket count increases, count and sum deltas. A
+// shrunk total count means the collector was reset between reads, so
+// the whole current snapshot is the delta (mirroring CounterDelta).
+// MaxNs carries the current observed max — it is a high-water gauge,
+// not a differentiable counter. Individual bucket decreases without a
+// count decrease (a torn concurrent read) clamp to zero rather than
+// going negative, so downstream consumers always see a valid
+// distribution.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	if s.Count < prev.Count {
+		return s
+	}
+	d := HistSnapshot{
+		Count: s.Count - prev.Count,
+		SumNs: s.SumNs - prev.SumNs,
+		MaxNs: s.MaxNs,
+	}
+	if d.SumNs < 0 {
+		d.SumNs = 0
+	}
+	for i := range s.Buckets {
+		if b := s.Buckets[i] - prev.Buckets[i]; b > 0 {
+			d.Buckets[i] = b
+		}
+	}
+	return d
+}
+
 // Mean returns the average sample in ns.
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {
@@ -238,23 +268,29 @@ func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }
 // Max returns the largest recorded sample in ns.
 func (s HistSnapshot) Max() int64 { return s.MaxNs }
 
-// writeJSON appends the histogram's flat metric keys to b:
-// <name>_count, <name>_sum_ns, <name>_p50_ns, <name>_p95_ns,
-// <name>_p99_ns, <name>_max_ns. Flat int64 keys keep /metrics trivially
-// consumable by anything that reads a name->number map.
-func (s HistSnapshot) writeJSON(b *strings.Builder, name string) {
-	f := func(suffix string, v int64) {
-		if b.Len() > 1 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(b, "%q:%d", name+suffix, v)
+// Flats returns the histogram's flat metric keys — <name>_count,
+// <name>_sum_ns, <name>_p50_ns, <name>_p95_ns, <name>_p99_ns,
+// <name>_max_ns — the exact keys /metrics serves and the
+// metrics-history recorder stores as series.
+func (s HistSnapshot) Flats(name string) []Metric {
+	return []Metric{
+		{name + "_count", s.Count},
+		{name + "_sum_ns", s.SumNs},
+		{name + "_p50_ns", s.P50()},
+		{name + "_p95_ns", s.P95()},
+		{name + "_p99_ns", s.P99()},
+		{name + "_max_ns", s.MaxNs},
 	}
-	f("_count", s.Count)
-	f("_sum_ns", s.SumNs)
-	f("_p50_ns", s.P50())
-	f("_p95_ns", s.P95())
-	f("_p99_ns", s.P99())
-	f("_max_ns", s.MaxNs)
+}
+
+// appendJSON appends the flat keys as pre-rendered JSON pairs. Flat
+// int64 keys keep /metrics trivially consumable by anything that reads
+// a name->number map.
+func (s HistSnapshot) appendJSON(pairs []Extra, name string) []Extra {
+	for _, m := range s.Flats(name) {
+		pairs = append(pairs, Extra{m.Name, fmt.Sprintf("%d", m.Value)})
+	}
+	return pairs
 }
 
 // ---- collector integration ----

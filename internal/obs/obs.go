@@ -22,6 +22,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 )
@@ -566,68 +567,119 @@ func (s Snapshot) SkipRate() float64 {
 	return float64(s.VectorsSkipped) / float64(total)
 }
 
+// Metric is one flat metric: a stable name and its current value. The
+// names are the public keys surfaced through /metrics and the series
+// names the metrics-history recorder stores.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Counters returns every scalar counter of the snapshot as a flat
+// name/value list, in declaration order. This is the single source of
+// truth for the counter schema: the JSON rendering, the Prometheus
+// exposition and the metrics-history recorder all derive their key
+// sets from it, so a counter added here shows up everywhere.
+func (s Snapshot) Counters() []Metric {
+	return []Metric{
+		{"row_groups_alp", s.RowGroupsALP},
+		{"row_groups_rd", s.RowGroupsRD},
+		{"vectors_encoded", s.VectorsEncoded},
+		{"encode_exceptions", s.EncodeExceptions},
+		{"encode_ns", s.EncodeNs},
+		{"encode_values", s.EncodeValues},
+		{"second_stage_skips", s.SecondStageSkips},
+		{"second_stage_early_exits", s.SecondStageEarlyExits},
+		{"second_stage_tried", s.SecondStageTried},
+		{"rd_sampled_row_groups", s.RDSampledRowGroups},
+		{"rd_cuts_tried", s.RDCutsTried},
+		{"rd_dict_entries", s.RDDictEntries},
+		{"vectors_decoded", s.VectorsDecoded},
+		{"vectors_skipped", s.VectorsSkipped},
+		{"decode_ns", s.DecodeNs},
+		{"decode_values", s.DecodeValues},
+		{"range_scans", s.RangeScans},
+		{"morsel_claims", s.MorselClaims},
+		{"scan_workers", s.ScanWorkers},
+		{"pushdown_vectors", s.PushdownVectors},
+		{"pushdown_fallbacks", s.PushdownFallbacks},
+		{"selected_rows", s.SelectedRows},
+		{"pipeline_workers", s.PipelineWorkers},
+		{"pipeline_claims", s.PipelineClaims},
+		{"pipeline_stalls", s.PipelineStalls},
+		{"server_requests", s.ServerRequests},
+		{"server_sheds", s.ServerSheds},
+		{"server_refused", s.ServerRefused},
+		{"server_bytes_in", s.ServerBytesIn},
+		{"server_bytes_out", s.ServerBytesOut},
+		{"server_scans", s.ServerScans},
+		{"scan_frames_dense", s.ScanFramesDense},
+		{"scan_frames_repacked", s.ScanFramesRepacked},
+		{"scan_frames_raw", s.ScanFramesRaw},
+		{"scan_bytes_saved", s.ScanBytesSaved},
+	}
+}
+
+// CounterDelta returns the increase of a monotonic counter between two
+// scrapes, treating a decrease as a counter reset: the collector was
+// reset (or the process restarted) between reads, so the previous
+// total no longer applies and the whole new total is the delta.
+func CounterDelta(cur, prev int64) int64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// Extra is one additional JSON key spliced into a snapshot rendering —
+// the value must already be valid JSON (the server uses this to merge
+// its per-column registry stats into the /metrics object while keeping
+// the sorted key order).
+type Extra struct {
+	Name string
+	JSON string
+}
+
 // String renders the snapshot as a JSON object, making Snapshot usable
 // directly as an expvar.Var. Hand-rolled so the package stays free of
 // encoding/json. Histograms surface as flat <name>_{count,sum_ns,
 // p50_ns,p95_ns,p99_ns,max_ns} keys so a name->number metrics consumer
-// picks the quantiles up without knowing the bucket layout.
-func (s Snapshot) String() string {
+// picks the quantiles up without knowing the bucket layout. Keys are
+// emitted in sorted order, so two renderings of equal snapshots are
+// byte-identical and diffs between reads are positional.
+func (s Snapshot) String() string { return s.JSON() }
+
+// JSON renders the snapshot like String with extra pre-rendered keys
+// merged in, all in sorted key order.
+func (s Snapshot) JSON(extras ...Extra) string {
+	pairs := make([]Extra, 0, len(s.Counters())+6*len(s.Hists)+len(extras)+1)
+	for _, c := range s.Counters() {
+		pairs = append(pairs, Extra{c.Name, fmt.Sprintf("%d", c.Value)})
+	}
+	for i := range s.Hists {
+		pairs = s.Hists[i].appendJSON(pairs, histNames[i])
+	}
+	var hist strings.Builder
+	hist.WriteByte('[')
+	for i, v := range s.BitWidthHist {
+		if i > 0 {
+			hist.WriteByte(',')
+		}
+		fmt.Fprintf(&hist, "%d", v)
+	}
+	hist.WriteByte(']')
+	pairs = append(pairs, Extra{"bit_width_hist", hist.String()})
+	pairs = append(pairs, extras...)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
 	var b strings.Builder
 	b.WriteByte('{')
-	f := func(name string, v int64) {
-		if b.Len() > 1 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%q:%d", name, v)
-	}
-	f("row_groups_alp", s.RowGroupsALP)
-	f("row_groups_rd", s.RowGroupsRD)
-	f("vectors_encoded", s.VectorsEncoded)
-	f("encode_exceptions", s.EncodeExceptions)
-	f("encode_ns", s.EncodeNs)
-	f("encode_values", s.EncodeValues)
-	f("second_stage_skips", s.SecondStageSkips)
-	f("second_stage_early_exits", s.SecondStageEarlyExits)
-	f("second_stage_tried", s.SecondStageTried)
-	f("rd_sampled_row_groups", s.RDSampledRowGroups)
-	f("rd_cuts_tried", s.RDCutsTried)
-	f("rd_dict_entries", s.RDDictEntries)
-	f("vectors_decoded", s.VectorsDecoded)
-	f("vectors_skipped", s.VectorsSkipped)
-	f("decode_ns", s.DecodeNs)
-	f("decode_values", s.DecodeValues)
-	f("range_scans", s.RangeScans)
-	f("morsel_claims", s.MorselClaims)
-	f("scan_workers", s.ScanWorkers)
-	f("pushdown_vectors", s.PushdownVectors)
-	f("pushdown_fallbacks", s.PushdownFallbacks)
-	f("selected_rows", s.SelectedRows)
-	f("pipeline_workers", s.PipelineWorkers)
-	f("pipeline_claims", s.PipelineClaims)
-	f("pipeline_stalls", s.PipelineStalls)
-	f("server_requests", s.ServerRequests)
-	f("server_sheds", s.ServerSheds)
-	f("server_refused", s.ServerRefused)
-	f("server_bytes_in", s.ServerBytesIn)
-	f("server_bytes_out", s.ServerBytesOut)
-	f("server_scans", s.ServerScans)
-	f("scan_frames_dense", s.ScanFramesDense)
-	f("scan_frames_repacked", s.ScanFramesRepacked)
-	f("scan_frames_raw", s.ScanFramesRaw)
-	f("scan_bytes_saved", s.ScanBytesSaved)
-	for i := range s.Hists {
-		s.Hists[i].writeJSON(&b, histNames[i])
-	}
-	b.WriteByte(',')
-	fmt.Fprintf(&b, "%q:", "bit_width_hist")
-	b.WriteByte('[')
-	for i, v := range s.BitWidthHist {
+	for i, p := range pairs {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		fmt.Fprintf(&b, "%q:%s", p.Name, p.JSON)
 	}
-	b.WriteString("]}")
+	b.WriteByte('}')
 	return b.String()
 }
 

@@ -4,11 +4,13 @@ import (
 	"context"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"github.com/goalp/alp"
 	"github.com/goalp/alp/client"
 	"github.com/goalp/alp/internal/engine"
 	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/metricstore"
 	"github.com/goalp/alp/internal/vector"
 )
 
@@ -60,6 +62,48 @@ func BenchmarkAggServedObsOn(b *testing.B) {
 		if _, err := cl.Agg(ctx, "bench", pred); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAggServedRecorderOn is the obs-on served aggregate with the
+// metrics-history recorder additionally running at an aggressive 10ms
+// scrape interval (1000x the default), so every benchmark iteration
+// competes with live snapshot + delta + seal work. The delta against
+// BenchmarkAggServedObsOn is the end-to-end cost of self-hosted
+// metrics history; the reported bits/value is the compression the
+// store achieved on the telemetry this very workload generated.
+func BenchmarkAggServedRecorderOn(b *testing.B) {
+	mon := metricstore.New(metricstore.Options{
+		Interval:      10 * time.Millisecond,
+		WindowSamples: 64,
+	})
+	srv := New(Options{MetricsHistory: mon})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	values := dataset(10*102400, 42)
+	if _, err := cl.Ingest(context.Background(), "bench", values); err != nil {
+		b.Fatalf("ingest: %v", err)
+	}
+	b.SetBytes(int64(len(values) * 8))
+	alp.EnableStats()
+	b.Cleanup(alp.DisableStats)
+	mon.ScrapeOnce()
+	mon.Start()
+	b.Cleanup(mon.Stop)
+	pred := client.Between(80, 160)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Agg(ctx, "bench", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	mon.Stop()
+	mon.Flush()
+	if st := mon.Stats(); st.SealedWindows > 0 {
+		b.ReportMetric(st.BitsPerValue, "bits/value")
 	}
 }
 

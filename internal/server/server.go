@@ -16,7 +16,9 @@
 //	GET    /v1/columns/{name}/scan       stream qualifying rows (little-endian float64s)
 //	GET    /v1/columns/{name}/data       the full compressed column stream
 //	GET    /v1/columns/{name}/vectors/{i} one encoded vector as a standalone envelope
-//	GET    /metrics                      codec + service counters, latency quantiles, per-column stats (JSON)
+//	GET    /metrics                      codec + service counters, latency quantiles, per-column stats (JSON, sorted keys)
+//	GET    /metrics.prom                 the same snapshot in Prometheus text exposition format
+//	GET    /v1/metrics/history           range-query the self-telemetry history store (404 when the recorder is off)
 //	GET    /healthz                      liveness: 200 whenever the process answers HTTP
 //	GET    /readyz                       readiness: 200 while accepting work, 503 while draining
 //
@@ -67,6 +69,7 @@ import (
 	"github.com/goalp/alp"
 	"github.com/goalp/alp/internal/engine"
 	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/metricstore"
 	"github.com/goalp/alp/internal/obs"
 	"github.com/goalp/alp/internal/vector"
 )
@@ -96,6 +99,11 @@ type Options struct {
 	SlowQueryLog io.Writer
 	// SlowQueryThreshold is the slow-query cutoff. 0 means 250ms.
 	SlowQueryThreshold time.Duration
+	// MetricsHistory, when set, is the self-telemetry history store
+	// that answers GET /v1/metrics/history. nil disables the endpoint
+	// (404) — the recorder's lifecycle belongs to the embedding
+	// process (cmd/alpserved), not the server.
+	MetricsHistory *metricstore.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -164,7 +172,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/columns/{name}/scan", s.wrap(obs.HistScan, s.handleScan))
 	s.mux.HandleFunc("GET /v1/columns/{name}/data", s.wrap(obs.HistData, s.handleData))
 	s.mux.HandleFunc("GET /v1/columns/{name}/vectors/{i}", s.wrap(obs.HistVectors, s.handleVector))
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // never shed: always observable
+	s.mux.HandleFunc("GET /v1/metrics/history", s.wrap(obs.HistHistory, s.handleHistory))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)          // never shed: always observable
+	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm) // never shed, same contract
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
@@ -930,15 +940,30 @@ func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the codec + service counter snapshot as JSON —
 // the same shape alpbench -metrics exposes (counters plus the
 // lat_*/stage_* latency-histogram keys), spliced with a "columns"
-// object holding per-column registry stats. Not gated: a draining or
-// saturated server must stay observable.
+// object holding per-column registry stats and, when the history
+// recorder is on, a "metrics_history" object with its footprint. Keys
+// are emitted in sorted order, so two reads of identical state are
+// byte-identical — diff-friendly for scrape tooling. Not gated: a
+// draining or saturated server must stay observable.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	snap := obs.Active().Snapshot().String()
-	if cols, err := json.Marshal(s.reg.Stats()); err == nil && strings.HasSuffix(snap, "}") {
-		snap = snap[:len(snap)-1] + `,"columns":` + string(cols) + "}"
+	extras := make([]obs.Extra, 0, 2)
+	if cols, err := json.Marshal(s.reg.Stats()); err == nil {
+		extras = append(extras, obs.Extra{Name: "columns", JSON: string(cols)})
 	}
-	fmt.Fprintln(w, snap)
+	if st := s.opts.MetricsHistory; st != nil {
+		if hs, err := json.Marshal(st.Stats()); err == nil {
+			extras = append(extras, obs.Extra{Name: "metrics_history", JSON: string(hs)})
+		}
+	}
+	fmt.Fprintln(w, obs.Active().Snapshot().JSON(extras...))
+}
+
+// handleMetricsProm serves the same snapshot in the Prometheus text
+// exposition format, so standard scrapers need no JSON shim.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	obs.Active().Snapshot().WritePrometheus(w)
 }
 
 // handleHealth is the liveness probe: 200 whenever the process can
