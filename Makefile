@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race mon-smoke lint gauntlet gauntlet-check check clean
+.PHONY: all build vet test race bench-smoke bench-snapshot fuzz-smoke serve-smoke server-race mon-smoke cluster-race lint gauntlet gauntlet-check check clean
 
 all: check
 
@@ -85,6 +85,16 @@ lint:
 server-race:
 	$(GO) test -race -count=1 ./internal/server ./client ./cmd/alpserved ./internal/gauntlet
 
+# The alpcluster scatter-gather coordinator under the race detector:
+# the clustered-vs-in-process differential battery (1/2/4 loopback
+# backends × predicate sweep × edge datasets, agg/count/scan/data all
+# bit-identical), the fault-injection tests (killed backend ⇒ typed
+# partial_unavailable, hung backend ⇒ failover with replicas), the
+# rebalance path and the pool's breaker/backoff unit tests. Gating in
+# CI — the coordinator is all concurrency.
+cluster-race:
+	$(GO) test -race -count=1 ./internal/cluster ./client
+
 # The cross-domain gauntlet: all 9 codecs × 5 workload domains (HPC,
 # time series, observability, db, ML weights), measuring compression
 # ratio plus compress/decompress/filter throughput per (domain,
@@ -106,7 +116,7 @@ gauntlet-check:
 	$(GO) run ./cmd/alpgauntlet -check BENCH_gauntlet.json
 
 # The full PR gate, mirrored by .github/workflows/ci.yml.
-check: vet build test race bench-smoke serve-smoke mon-smoke server-race fuzz-smoke
+check: vet build test race bench-smoke serve-smoke mon-smoke server-race cluster-race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,282 @@
+// Pool: a health-checked set of alpserved backends behind one
+// implementation of probing, circuit breaking and per-backend retry
+// isolation. The scatter-gather coordinator fans out over a Pool, but
+// nothing in it is coordinator-specific — any consumer talking to more
+// than one alpserved shares it.
+//
+// Isolation is the point. Every backend gets its own Client, so retry
+// counters and the exponential backoff schedule are per-backend state:
+// a slow or flapping shard inflates only its own backoff, never the
+// delay in front of a healthy shard (a shared Client's jittered
+// backoff draws would also contend on one rng). Every backend also
+// gets its own circuit breaker — consecutive call failures open it,
+// calls during the cooldown fail fast with *BackendDownError instead
+// of burning the full retry schedule against a dead host, and after
+// the cooldown one trial call (or a background /readyz probe) is let
+// through to close it again.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolOptions configures a Pool. The zero value gets sane defaults.
+type PoolOptions struct {
+	// ClientOptions are applied to every backend's Client (retry
+	// count, backoff schedule, HTTP client).
+	ClientOptions []Option
+	// FailureThreshold is how many consecutive Do failures open a
+	// backend's breaker. 0 means 3.
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects calls before
+	// letting one trial through. 0 means 500ms.
+	Cooldown time.Duration
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 500 * time.Millisecond
+	}
+	return o
+}
+
+// BackendDownError is a call rejected by an open circuit breaker: the
+// backend's recent consecutive failures crossed the threshold and the
+// cooldown has not elapsed. The caller can fail the backend over
+// immediately — no network attempt was made.
+type BackendDownError struct {
+	URL   string
+	Until time.Time // when the breaker lets a trial call through
+}
+
+func (e *BackendDownError) Error() string {
+	return fmt.Sprintf("alpserved: backend %s circuit open until %s", e.URL, e.Until.Format(time.RFC3339Nano))
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// backend is one pool member: its own Client (isolated retry/backoff
+// state), breaker state and last probe result.
+type backend struct {
+	url string
+	c   *Client
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive Do failures
+	openedAt time.Time
+	trial    bool // a half-open trial call is in flight
+
+	probeOK atomic.Bool
+	opens   atomic.Int64
+}
+
+// Pool is a fixed set of backends. Safe for concurrent use.
+type Pool struct {
+	opts     PoolOptions
+	backends []*backend
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewPool returns a pool over the given base URLs. Backends start
+// probe-healthy; call Probe or StartProbes to track real readiness.
+func NewPool(urls []string, opts PoolOptions) *Pool {
+	p := &Pool{opts: opts.withDefaults(), stop: make(chan struct{})}
+	for _, u := range urls {
+		b := &backend{url: u, c: New(u, p.opts.ClientOptions...)}
+		b.probeOK.Store(true)
+		p.backends = append(p.backends, b)
+	}
+	return p
+}
+
+// Len returns the number of backends.
+func (p *Pool) Len() int { return len(p.backends) }
+
+// URL returns backend i's base URL.
+func (p *Pool) URL(i int) string { return p.backends[i].url }
+
+// Client returns backend i's Client directly, bypassing the breaker.
+func (p *Pool) Client(i int) *Client { return p.backends[i].c }
+
+// Healthy reports whether backend i is worth routing to: its last
+// /readyz probe succeeded and its breaker is not holding calls off.
+func (p *Pool) Healthy(i int) bool {
+	b := p.backends[i]
+	if !b.probeOK.Load() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerOpen || time.Since(b.openedAt) >= p.opts.Cooldown
+}
+
+// Do runs fn against backend i's Client under the breaker: an open
+// breaker rejects the call with *BackendDownError before any network
+// attempt; otherwise fn's outcome feeds the breaker. Cancellation of
+// the caller's context is not counted against the backend.
+func (p *Pool) Do(ctx context.Context, i int, fn func(*Client) error) error {
+	b := p.backends[i]
+	if err := p.admit(b); err != nil {
+		return err
+	}
+	err := fn(b.c)
+	p.record(b, err, ctx)
+	return err
+}
+
+func (p *Pool) admit(b *backend) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if until := b.openedAt.Add(p.opts.Cooldown); time.Now().Before(until) {
+			return &BackendDownError{URL: b.url, Until: until}
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return nil
+	default: // half-open
+		if b.trial {
+			return &BackendDownError{URL: b.url, Until: time.Now().Add(p.opts.Cooldown)}
+		}
+		b.trial = true
+		return nil
+	}
+}
+
+// countsAsFailure separates "the backend is unwell" from "the backend
+// answered": 4xx API errors are healthy responses (a 404 must not open
+// the breaker), and the caller abandoning the call is no verdict at
+// all.
+func countsAsFailure(err error, ctx context.Context) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status < 500 && apiErr.Status != 429 {
+		return false
+	}
+	return true
+}
+
+func (p *Pool) record(b *backend, err error, ctx context.Context) {
+	failed := countsAsFailure(err, ctx)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	if !failed {
+		// A 4xx closes the breaker too — the backend answered.
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= p.opts.FailureThreshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.fails = 0
+		b.opens.Add(1)
+	}
+}
+
+// Probe checks every backend's /readyz once, concurrently, updating
+// probe health. A successful probe of a cooled-down open breaker
+// closes it, so recovery does not cost a real request.
+func (p *Pool) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ok, err := b.c.Health(ctx)
+			ok = ok && err == nil
+			b.probeOK.Store(ok)
+			if !ok {
+				return
+			}
+			b.mu.Lock()
+			if b.state == breakerOpen && time.Since(b.openedAt) >= p.opts.Cooldown {
+				b.state = breakerClosed
+				b.fails = 0
+			}
+			b.mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+}
+
+// StartProbes probes every backend at the given interval until Close.
+func (p *Pool) StartProbes(interval time.Duration) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				p.Probe(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close stops background probing.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// BackendStats is one backend's health and retry-behavior snapshot.
+type BackendStats struct {
+	URL         string
+	ProbeOK     bool
+	BreakerOpen bool
+	Opens       int64 // times the breaker has opened
+	Client      Stats
+}
+
+// Stats snapshots every backend.
+func (p *Pool) Stats() []BackendStats {
+	out := make([]BackendStats, len(p.backends))
+	for i, b := range p.backends {
+		b.mu.Lock()
+		open := b.state == breakerOpen
+		b.mu.Unlock()
+		out[i] = BackendStats{
+			URL:         b.url,
+			ProbeOK:     b.probeOK.Load(),
+			BreakerOpen: open,
+			Opens:       b.opens.Load(),
+			Client:      b.c.Stats(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func poolTestBackends(t *testing.T, handlers ...http.Handler) []string {
+	t.Helper()
+	urls := make([]string, len(handlers))
+	for i, h := range handlers {
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Write([]byte(`{"columns":[]}`))
+	})
+}
+
+func failHandler(status int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(status)
+	})
+}
+
+// The breaker opens after FailureThreshold consecutive failures and
+// rejects further calls without any network attempt, then lets a
+// trial through after the cooldown and closes on success.
+func TestPoolBreakerOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	flip := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"columns":[]}`))
+	})
+	urls := poolTestBackends(t, flip)
+	p := NewPool(urls, PoolOptions{
+		FailureThreshold: 2,
+		Cooldown:         50 * time.Millisecond,
+		ClientOptions:    []Option{WithRetries(0)},
+	})
+	defer p.Close()
+	ctx := context.Background()
+	list := func() error {
+		return p.Do(ctx, 0, func(c *Client) error { _, err := c.List(ctx); return err })
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := list(); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	attemptsWhenOpened := p.Stats()[0].Client.Attempts
+	var down *BackendDownError
+	if err := list(); !errors.As(err, &down) {
+		t.Fatalf("expected BackendDownError, got %v", err)
+	}
+	if got := p.Stats()[0].Client.Attempts; got != attemptsWhenOpened {
+		t.Fatalf("open breaker still made %d network attempts", got-attemptsWhenOpened)
+	}
+	if p.Healthy(0) {
+		t.Fatal("open breaker reported healthy")
+	}
+	if p.Stats()[0].Opens != 1 {
+		t.Fatalf("opens = %d, want 1", p.Stats()[0].Opens)
+	}
+
+	// After the cooldown the trial call goes through and closes it.
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	if !p.Healthy(0) {
+		t.Fatal("cooled-down breaker reported unhealthy")
+	}
+	if err := list(); err != nil {
+		t.Fatalf("trial call failed: %v", err)
+	}
+	if st := p.Stats()[0]; st.BreakerOpen {
+		t.Fatal("breaker still open after successful trial")
+	}
+}
+
+// A failed half-open trial reopens the breaker immediately.
+func TestPoolHalfOpenFailureReopens(t *testing.T) {
+	urls := poolTestBackends(t, failHandler(http.StatusInternalServerError))
+	p := NewPool(urls, PoolOptions{
+		FailureThreshold: 1,
+		Cooldown:         30 * time.Millisecond,
+		ClientOptions:    []Option{WithRetries(0)},
+	})
+	defer p.Close()
+	ctx := context.Background()
+	list := func() error {
+		return p.Do(ctx, 0, func(c *Client) error { _, err := c.List(ctx); return err })
+	}
+	if err := list(); err == nil {
+		t.Fatal("expected failure")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if err := list(); err == nil { // trial, fails
+		t.Fatal("expected trial failure")
+	}
+	var down *BackendDownError
+	if err := list(); !errors.As(err, &down) {
+		t.Fatalf("expected reopened breaker, got %v", err)
+	}
+	if p.Stats()[0].Opens != 2 {
+		t.Fatalf("opens = %d, want 2", p.Stats()[0].Opens)
+	}
+}
+
+// 4xx responses are answers, not failures: they must not open the
+// breaker.
+func TestPoolClientErrorsDoNotOpenBreaker(t *testing.T) {
+	urls := poolTestBackends(t, failHandler(http.StatusNotFound))
+	p := NewPool(urls, PoolOptions{FailureThreshold: 1, ClientOptions: []Option{WithRetries(0)}})
+	defer p.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		err := p.Do(ctx, 0, func(c *Client) error { _, err := c.Info(ctx, "missing"); return err })
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+			t.Fatalf("call %d: want 404 APIError, got %v", i, err)
+		}
+	}
+	if st := p.Stats()[0]; st.BreakerOpen || st.Opens != 0 {
+		t.Fatalf("4xx opened the breaker: %+v", st)
+	}
+}
+
+// Probes track /readyz and close a cooled-down breaker without
+// spending a real request.
+func TestPoolProbes(t *testing.T) {
+	var ready atomic.Bool
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			if ready.Load() {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	urls := poolTestBackends(t, h, okHandler())
+	p := NewPool(urls, PoolOptions{FailureThreshold: 1, Cooldown: 10 * time.Millisecond, ClientOptions: []Option{WithRetries(0)}})
+	defer p.Close()
+	ctx := context.Background()
+
+	p.Probe(ctx)
+	if p.Healthy(0) {
+		t.Fatal("draining backend reported probe-healthy")
+	}
+	if !p.Healthy(1) {
+		t.Fatal("ready backend reported unhealthy")
+	}
+
+	// Open 0's breaker, then let a probe close it after cooldown.
+	ready.Store(true)
+	p.Do(ctx, 0, func(c *Client) error { _, err := c.List(ctx); return err })
+	if !p.Stats()[0].BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	time.Sleep(15 * time.Millisecond)
+	p.Probe(ctx)
+	if st := p.Stats()[0]; st.BreakerOpen || !st.ProbeOK {
+		t.Fatalf("probe did not recover backend: %+v", st)
+	}
+}
+
+// Regression test for per-backend retry isolation: a flapping backend
+// burns retries and backoff on its own Client only. Before the pool,
+// a shared Client meant a slow shard's Retry-After and exponential
+// backoff schedule applied to calls bound for healthy shards too.
+func TestPoolBackoffIsolation(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	urls := poolTestBackends(t, slow, okHandler())
+	p := NewPool(urls, PoolOptions{
+		FailureThreshold: 100, // keep the breaker out of this test
+		ClientOptions:    []Option{WithRetries(2), WithBackoff(20*time.Millisecond, 100*time.Millisecond)},
+	})
+	defer p.Close()
+	ctx := context.Background()
+
+	// Hammer the shed backend: every call retries with backoff.
+	for i := 0; i < 3; i++ {
+		if err := p.Do(ctx, 0, func(c *Client) error { _, err := c.List(ctx); return err }); err == nil {
+			t.Fatal("shed backend call unexpectedly succeeded")
+		}
+	}
+	shedStats := p.Stats()[0].Client
+	if shedStats.Retries == 0 || shedStats.BackoffNs == 0 {
+		t.Fatalf("shed backend accumulated no retry state: %+v", shedStats)
+	}
+
+	// The healthy backend's Client must be untouched: no retries, no
+	// backoff inherited from the sibling, and calls complete fast.
+	start := time.Now()
+	if err := p.Do(ctx, 1, func(c *Client) error { _, err := c.List(ctx); return err }); err != nil {
+		t.Fatalf("healthy backend call failed: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("healthy backend call took %v — inherited a sibling's backoff?", d)
+	}
+	healthyStats := p.Stats()[1].Client
+	if healthyStats.Retries != 0 || healthyStats.BackoffNs != 0 || healthyStats.Shed != 0 {
+		t.Fatalf("healthy backend inherited retry state: %+v", healthyStats)
+	}
+}
+
+// Caller cancellation is no verdict on the backend.
+func TestPoolCancellationDoesNotOpenBreaker(t *testing.T) {
+	block := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	urls := poolTestBackends(t, block)
+	p := NewPool(urls, PoolOptions{FailureThreshold: 1, ClientOptions: []Option{WithRetries(0)}})
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		p.Do(ctx, 0, func(c *Client) error { _, err := c.List(ctx); return err })
+		cancel()
+	}
+	if st := p.Stats()[0]; st.BreakerOpen || st.Opens != 0 {
+		t.Fatalf("cancellation opened the breaker: %+v", st)
+	}
+}

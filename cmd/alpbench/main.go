@@ -68,7 +68,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "alpbench: served-scan sweep:", err)
 			os.Exit(1)
 		}
-		if err := bench.RunSnapshot(out, sopt, served); err != nil {
+		clustered, err := servedbench.MeasureClusteredAgg(*n, []int{1, 2, 4}, sopt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alpbench: clustered-agg scaling:", err)
+			os.Exit(1)
+		}
+		if err := bench.RunSnapshot(out, sopt, served, clustered); err != nil {
 			fmt.Fprintln(os.Stderr, "alpbench: snapshot:", err)
 			os.Exit(1)
 		}

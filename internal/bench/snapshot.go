@@ -63,10 +63,11 @@ type SnapshotDoc struct {
 	// NoiseBound is the worst relative half-spread ((max-min)/2·median)
 	// observed while measuring them — the slack a regression comparator
 	// should tolerate on top of its threshold.
-	Repetitions int               `json:"repetitions"`
-	NoiseBound  float64           `json:"noise_bound"`
-	Entries     []SnapshotEntry   `json:"entries"`
-	ServedScan  []ServedScanEntry `json:"served_scan,omitempty"`
+	Repetitions  int                 `json:"repetitions"`
+	NoiseBound   float64             `json:"noise_bound"`
+	Entries      []SnapshotEntry     `json:"entries"`
+	ServedScan   []ServedScanEntry   `json:"served_scan,omitempty"`
+	ClusteredAgg []ClusteredAggEntry `json:"clustered_agg,omitempty"`
 }
 
 // ServedScanEntry is one selectivity point of the served-scan sweep
@@ -85,14 +86,29 @@ type ServedScanEntry struct {
 	LocalOverServed float64 `json:"local_over_served"`
 }
 
+// ClusteredAggEntry is one shard count of the clustered-aggregate
+// scaling series (measured by internal/servedbench, which owns the
+// loopback cluster rig). AggMVs is column values aggregated per wall
+// second through the full coordinator path — scatter over HTTP,
+// per-backend pushdown, deterministic partial merge. SpeedupOver1 is
+// AggMVs ÷ the 1-shard point of the same run; on a multi-core host the
+// ROADMAP acceptance bar is > 1.8x at 4 shards.
+type ClusteredAggEntry struct {
+	Shards       int     `json:"shards"`
+	Rows         int     `json:"rows"`
+	AggMVs       float64 `json:"agg_mvs"`
+	SpeedupOver1 float64 `json:"speedup_over_1shard"`
+}
+
 // RunSnapshot measures the snapshot entries and writes the document as
 // indented JSON to w. Encode and decode run the serial column paths
 // (the per-core numbers the paper reports); the filter is a
 // single-threaded pushdown aggregate over the middle half of each
 // dataset's value range, so all three regimes do real kernel work.
-// served is the pre-measured served-scan sweep (servedbench.Measure);
-// nil omits the series.
-func RunSnapshot(w io.Writer, opt Options, served []ServedScanEntry) error {
+// served is the pre-measured served-scan sweep (servedbench.Measure)
+// and clustered the pre-measured clustered-agg scaling series
+// (servedbench.MeasureClusteredAgg); nil omits either series.
+func RunSnapshot(w io.Writer, opt Options, served []ServedScanEntry, clustered []ClusteredAggEntry) error {
 	doc := SnapshotDoc{
 		Date:        time.Now().UTC().Format("2006-01-02"),
 		GoVersion:   runtime.Version(),
@@ -116,6 +132,7 @@ func RunSnapshot(w io.Writer, opt Options, served []ServedScanEntry) error {
 	}
 	doc.NoiseBound = math.Round(noise*1e4) / 1e4
 	doc.ServedScan = served
+	doc.ClusteredAgg = clustered
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

@@ -14,7 +14,7 @@ import (
 func TestSnapshotRecordsNoiseContract(t *testing.T) {
 	var buf bytes.Buffer
 	opt := Options{N: 4096, MinDur: 200 * time.Microsecond}
-	if err := RunSnapshot(&buf, opt, nil); err != nil {
+	if err := RunSnapshot(&buf, opt, nil, nil); err != nil {
 		t.Fatalf("RunSnapshot: %v", err)
 	}
 	var doc SnapshotDoc

@@ -1,0 +1,81 @@
+// The partition map: which backends own which row-groups. Placement
+// is rendezvous (highest-random-weight) hashing over (column,
+// row-group, backend): every coordinator computes the same ranked
+// replica list from the backend set alone, no central assignment
+// table, and adding or removing a backend reshuffles only the
+// row-groups that hash to it. The map carries an explicit epoch and is
+// read through an atomic pointer with the same replace discipline as
+// the server registry — readers copy the pointer once and plan a whole
+// query against one consistent map, while a rebalance publishes a
+// bumped epoch for requests that follow.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Backend is one alpserved base URL in the partition map. ID is the
+// stable hashing identity — it must not change when the backend moves
+// to a new address, or its row-groups move with it.
+type Backend struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Map is one epoch of the cluster's placement function.
+type Map struct {
+	Epoch    uint64    `json:"epoch"`
+	Backends []Backend `json:"backends"`
+	Replicas int       `json:"replicas"` // R: ranked replicas per row-group
+}
+
+// NewMap builds epoch-1 placement over the given backend URLs (the URL
+// doubles as the ID) with R-way replication. replicas is clamped to
+// [1, len(urls)].
+func NewMap(urls []string, replicas int) *Map {
+	m := &Map{Epoch: 1, Replicas: replicas}
+	for _, u := range urls {
+		m.Backends = append(m.Backends, Backend{ID: u, URL: u})
+	}
+	if m.Replicas < 1 {
+		m.Replicas = 1
+	}
+	if m.Replicas > len(m.Backends) {
+		m.Replicas = len(m.Backends)
+	}
+	return m
+}
+
+// Place returns the ranked replica list for one row-group of one
+// column: the indexes of the top-R backends by rendezvous weight,
+// highest first. The ranking is total and deterministic — weights tie
+// only if FNV collides, and then the lower backend index wins — so
+// every caller agrees on both membership and order, which is what
+// makes "first healthy replica by rank" a deterministic tiebreak.
+func (m *Map) Place(col string, rg int) []int {
+	type ranked struct {
+		w   uint64
+		idx int
+	}
+	rs := make([]ranked, len(m.Backends))
+	key := col + "\x00" + strconv.Itoa(rg) + "\x00"
+	for i, b := range m.Backends {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte(b.ID))
+		rs[i] = ranked{w: h.Sum64(), idx: i}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].w != rs[b].w {
+			return rs[a].w > rs[b].w
+		}
+		return rs[a].idx < rs[b].idx
+	})
+	out := make([]int, m.Replicas)
+	for i := range out {
+		out[i] = rs[i].idx
+	}
+	return out
+}

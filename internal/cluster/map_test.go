@@ -1,0 +1,62 @@
+package cluster
+
+import "testing"
+
+func TestPlaceDeterministicAndRanked(t *testing.T) {
+	urls := []string{"http://a", "http://b", "http://c", "http://d"}
+	m := NewMap(urls, 2)
+	if m.Epoch != 1 || m.Replicas != 2 {
+		t.Fatalf("map %+v", m)
+	}
+	for g := 0; g < 200; g++ {
+		r1 := m.Place("col", g)
+		r2 := m.Place("col", g)
+		if len(r1) != 2 {
+			t.Fatalf("rg %d: %d replicas, want 2", g, len(r1))
+		}
+		if r1[0] == r1[1] {
+			t.Fatalf("rg %d: duplicate replica %v", g, r1)
+		}
+		if r1[0] != r2[0] || r1[1] != r2[1] {
+			t.Fatalf("rg %d: placement not deterministic: %v vs %v", g, r1, r2)
+		}
+	}
+}
+
+func TestPlaceSpreadsLoad(t *testing.T) {
+	m := NewMap([]string{"http://a", "http://b", "http://c", "http://d"}, 1)
+	counts := make([]int, 4)
+	for g := 0; g < 400; g++ {
+		counts[m.Place("col", g)[0]]++
+	}
+	for b, n := range counts {
+		if n == 0 {
+			t.Fatalf("backend %d received no row-groups: %v", b, counts)
+		}
+	}
+}
+
+func TestPlaceDependsOnColumnAndRowGroup(t *testing.T) {
+	m := NewMap([]string{"http://a", "http://b", "http://c"}, 1)
+	// Different columns (and different row-groups) must not all land
+	// on one backend; sample enough keys that a constant function
+	// would be caught.
+	seen := map[int]bool{}
+	for _, col := range []string{"x", "y", "z"} {
+		for g := 0; g < 50; g++ {
+			seen[m.Place(col, g)[0]] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("placement used only backends %v of 3", seen)
+	}
+}
+
+func TestReplicasClamped(t *testing.T) {
+	if m := NewMap([]string{"http://a", "http://b"}, 9); m.Replicas != 2 {
+		t.Fatalf("replicas not clamped down: %d", m.Replicas)
+	}
+	if m := NewMap([]string{"http://a", "http://b"}, 0); m.Replicas != 1 {
+		t.Fatalf("replicas not clamped up: %d", m.Replicas)
+	}
+}

@@ -1,0 +1,53 @@
+// f32.go adds the float32 gauntlet cells (ROADMAP item 4 remainder):
+// one widened-float32 dataset per workload domain. FCBench treats
+// float32 as a first-class precision — most ML checkpoints and many
+// telemetry pipelines store single precision — and ALP's natural unit
+// is the widened double (float64(float32(v)) leaves 29 trailing zero
+// mantissa bits for the decimal scheme or a short right-cut for
+// ALP_rd). Each cell reuses an existing domain generator and widens
+// its output, so the f32 column carries the same fingerprint as its
+// domain (smoothness, duplicates, tail shape) at single precision.
+package dataset
+
+import "math/rand"
+
+// widen32 wraps a generator so every value round-trips through float32
+// storage. The wrapped generator draws from the same *rand.Rand it is
+// handed, so the seed contract (see Seed) holds: the f32 dataset's name
+// seeds its own stream, independent of the base dataset's.
+func widen32(gen func(*rand.Rand, int) []float64) func(*rand.Rand, int) []float64 {
+	return func(r *rand.Rand, n int) []float64 {
+		out := gen(r, n)
+		for i, v := range out {
+			out[i] = float64(float32(v))
+		}
+		return out
+	}
+}
+
+// Extended32 returns one float32-widened dataset per domain, derived
+// from a representative member of that domain. They join AllExtended
+// (so ByName and the gauntlet resolve them) but not All or Extended,
+// whose shapes are pinned by the paper tables and the registry test.
+func Extended32() []Dataset {
+	base := func(name string) func(*rand.Rand, int) []float64 {
+		for _, d := range append(All(), Extended()...) {
+			if d.Name == name {
+				return d.gen
+			}
+		}
+		panic("dataset: Extended32 base " + name + " not in registry")
+	}
+	return []Dataset{
+		{Name: "HPC/turbulence-f32", Semantics: "Velocity field (m/s, float32)",
+			Domain: DomainHPC, RD: true, gen: widen32(base("HPC/turbulence"))},
+		{Name: "Basel-temp-f32", Semantics: "Temperature (C, float32)", TimeSeries: true,
+			Domain: DomainTimeSeries, gen: widen32(base("Basel-temp"))},
+		{Name: "Obs/latency-ms-f32", Semantics: "Request latency (ms, float32)",
+			Domain: DomainObservability, gen: widen32(base("Obs/latency-ms"))},
+		{Name: "POI-lat-f32", Semantics: "Coordinates (lat, radians, float32)",
+			Domain: DomainDB, RD: true, gen: widen32(base("POI-lat"))},
+		{Name: "ML/gradients-f32", Semantics: "Training gradients (float32)",
+			Domain: DomainML, RD: true, gen: widen32(base("ML/gradients"))},
+	}
+}

@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtended32Registry pins the float32 cells: exactly one per
+// domain, resolvable through ByName, and every generated value is a
+// widened float32 (float64(float32(v)) is the identity).
+func TestExtended32Registry(t *testing.T) {
+	cells := Extended32()
+	if len(cells) != len(Domains()) {
+		t.Fatalf("Extended32() has %d datasets, want one per domain (%d)", len(cells), len(Domains()))
+	}
+	seen := make(map[string]bool)
+	for _, d := range cells {
+		if seen[d.Domain] {
+			t.Errorf("domain %q has more than one float32 cell", d.Domain)
+		}
+		seen[d.Domain] = true
+		if _, ok := ByName(d.Name); !ok {
+			t.Errorf("%s: not resolvable via ByName", d.Name)
+		}
+		for i, v := range d.Generate(8192) {
+			if !math.IsNaN(v) && float64(float32(v)) != v {
+				t.Fatalf("%s: value %v at %d is not a widened float32", d.Name, v, i)
+			}
+		}
+	}
+}
+
+// TestExtended32Deterministic extends the seed contract to the float32
+// cells: repeated Generate calls are bit-identical, so the gauntlet
+// baseline means the same data everywhere.
+func TestExtended32Deterministic(t *testing.T) {
+	for _, d := range Extended32() {
+		a := d.Generate(4096)
+		b := d.Generate(4096)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s: non-deterministic generation at index %d: %v vs %v",
+					d.Name, i, a[i], b[i])
+			}
+		}
+	}
+}

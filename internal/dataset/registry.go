@@ -67,10 +67,11 @@ func ByName(name string) (Dataset, bool) {
 	return Dataset{}, false
 }
 
-// AllExtended returns every dataset: the paper's 30 (All) plus the
-// gauntlet's HPC, observability and ML-weights additions (Extended).
+// AllExtended returns every dataset: the paper's 30 (All), the
+// gauntlet's HPC, observability and ML-weights additions (Extended),
+// and the per-domain float32 cells (Extended32).
 func AllExtended() []Dataset {
-	return append(All(), Extended()...)
+	return append(append(All(), Extended()...), Extended32()...)
 }
 
 // Domains returns the workload domains in gauntlet order.

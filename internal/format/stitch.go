@@ -1,0 +1,88 @@
+// Row-group slicing and stitching: the format-level primitives behind
+// sharded column placement. A row-group is encoded from its own values
+// only (EncodeColumn runs first-level sampling per row-group), so a
+// standalone column assembled from any subset of another column's
+// row-groups — in order, extents re-based to the local layout —
+// marshals the row-group payloads byte-identically to the original.
+// The cluster coordinator leans on that: sub-columns shipped to
+// backends, range exports for rebalancing, and full-column stitching
+// on /v1/columns/{name}/data all move compressed bytes without a
+// single decode, and stitching a complete set of shards back together
+// reproduces the single-node Marshal output bit for bit.
+
+package format
+
+import (
+	"fmt"
+
+	"github.com/goalp/alp/internal/vector"
+)
+
+// RowGroupRef names one row-group of a source column.
+type RowGroupRef struct {
+	Col *Column
+	G   int // row-group index within Col
+}
+
+// StitchColumns assembles refs, in order, into a standalone column.
+// Row-group state (vector payloads, dictionaries) is shared with the
+// sources, not copied — sources are immutable — but extents are
+// re-based to the stitched layout. Every ref except the last must be a
+// full row-group, because only a column's final row-group may be
+// partial. Zone-map entries are carried over when every source has
+// them; if any source lacks a zone map the stitched column has none.
+func StitchColumns(refs []RowGroupRef) (*Column, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("stitch: no row-groups")
+	}
+	out := &Column{}
+	zones := true
+	for i, ref := range refs {
+		if ref.Col == nil || ref.G < 0 || ref.G >= len(ref.Col.RowGroups) {
+			return nil, fmt.Errorf("stitch: ref %d out of range", i)
+		}
+		rg := ref.Col.RowGroups[ref.G] // copy; Start is re-based below
+		if rg.N != vector.RowGroupSize && i != len(refs)-1 {
+			return nil, fmt.Errorf("stitch: ref %d is a partial row-group (%d values) but not last", i, rg.N)
+		}
+		rg.Start = out.N
+		out.RowGroups = append(out.RowGroups, rg)
+		out.N += rg.N
+		if ref.Col.Zones == nil {
+			zones = false
+		}
+	}
+	if !zones {
+		return out, nil
+	}
+	nv := vector.VectorsIn(out.N)
+	zm := &ZoneMap{
+		Min:       make([]float64, 0, nv),
+		Max:       make([]float64, 0, nv),
+		HasValues: make([]bool, 0, nv),
+	}
+	for _, ref := range refs {
+		lo := ref.G * vector.RowGroupVectors
+		hi := lo + vector.VectorsIn(ref.Col.RowGroups[ref.G].N)
+		zm.Min = append(zm.Min, ref.Col.Zones.Min[lo:hi]...)
+		zm.Max = append(zm.Max, ref.Col.Zones.Max[lo:hi]...)
+		zm.HasValues = append(zm.HasValues, ref.Col.Zones.HasValues[lo:hi]...)
+	}
+	out.Zones = zm
+	return out, nil
+}
+
+// SliceColumn returns a standalone column holding row-groups [lo, hi]
+// (inclusive) of c — the compressed export behind ranged /data
+// requests. hi must be the last row-group of c unless row-group hi is
+// full.
+func SliceColumn(c *Column, lo, hi int) (*Column, error) {
+	if lo < 0 || hi < lo || hi >= len(c.RowGroups) {
+		return nil, fmt.Errorf("slice: row-group range [%d, %d] out of [0, %d)", lo, hi, len(c.RowGroups))
+	}
+	refs := make([]RowGroupRef, 0, hi-lo+1)
+	for g := lo; g <= hi; g++ {
+		refs = append(refs, RowGroupRef{Col: c, G: g})
+	}
+	return StitchColumns(refs)
+}

@@ -1,0 +1,138 @@
+package format
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/goalp/alp/internal/vector"
+)
+
+func stitchTestValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Round(rng.NormFloat64()*1e5) / 1000
+	}
+	if n > 10 {
+		vals[3] = math.NaN()
+		vals[7] = math.Inf(1)
+		vals[9] = math.Copysign(0, -1)
+	}
+	return vals
+}
+
+// Splitting a column into interleaved sub-columns and stitching them
+// back in global order must reproduce the original Marshal output byte
+// for byte — the invariant the cluster's /data stitching rests on.
+func TestStitchRoundTripsMarshal(t *testing.T) {
+	vals := stitchTestValues(4*vector.RowGroupSize + 1234)
+	orig := EncodeColumn(vals)
+	want := orig.Marshal()
+
+	// Interleave row-groups across two "backends", as rendezvous
+	// placement would.
+	var subA, subB []RowGroupRef
+	for g := range orig.RowGroups {
+		if g%2 == 0 {
+			subA = append(subA, RowGroupRef{Col: orig, G: g})
+		} else {
+			subB = append(subB, RowGroupRef{Col: orig, G: g})
+		}
+	}
+	colA, err := StitchColumns(subA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB, err := StitchColumns(subB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sub-columns must round-trip through the wire format on their own
+	// (this is what a backend ingests and stores).
+	reA, err := Unmarshal(colA.Marshal())
+	if err != nil {
+		t.Fatalf("sub-column A does not round-trip: %v", err)
+	}
+	reB, err := Unmarshal(colB.Marshal())
+	if err != nil {
+		t.Fatalf("sub-column B does not round-trip: %v", err)
+	}
+
+	// Stitch the unmarshaled shards back together in global order.
+	var refs []RowGroupRef
+	la, lb := 0, 0
+	for g := range orig.RowGroups {
+		if g%2 == 0 {
+			refs = append(refs, RowGroupRef{Col: reA, G: la})
+			la++
+		} else {
+			refs = append(refs, RowGroupRef{Col: reB, G: lb})
+			lb++
+		}
+	}
+	whole, err := StitchColumns(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := whole.Marshal(); !bytes.Equal(got, want) {
+		t.Fatalf("stitched marshal differs from original (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// A stitched sub-column answers decode queries for exactly its values.
+func TestStitchSubColumnDecodes(t *testing.T) {
+	vals := stitchTestValues(3*vector.RowGroupSize + 500)
+	orig := EncodeColumn(vals)
+	sub, err := StitchColumns([]RowGroupRef{{Col: orig, G: 0}, {Col: orig, G: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]float64{}, vals[:vector.RowGroupSize]...), vals[2*vector.RowGroupSize:3*vector.RowGroupSize]...)
+	if sub.N != len(want) {
+		t.Fatalf("sub.N = %d, want %d", sub.N, len(want))
+	}
+	buf := make([]float64, vector.Size)
+	scratch := make([]int64, vector.Size)
+	pos := 0
+	for i := 0; i < sub.NumVectors(); i++ {
+		n := sub.DecodeVector(i, buf, scratch)
+		for j := 0; j < n; j++ {
+			if math.Float64bits(buf[j]) != math.Float64bits(want[pos]) {
+				t.Fatalf("value %d differs", pos)
+			}
+			pos++
+		}
+	}
+	if pos != len(want) {
+		t.Fatalf("decoded %d values, want %d", pos, len(want))
+	}
+}
+
+func TestSliceColumn(t *testing.T) {
+	vals := stitchTestValues(3*vector.RowGroupSize + 11)
+	orig := EncodeColumn(vals)
+	sl, err := SliceColumn(orig, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.N != 2*vector.RowGroupSize {
+		t.Fatalf("slice N = %d", sl.N)
+	}
+	if _, err := Unmarshal(sl.Marshal()); err != nil {
+		t.Fatalf("slice does not round-trip: %v", err)
+	}
+	if _, err := SliceColumn(orig, 2, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := SliceColumn(orig, 0, len(orig.RowGroups)); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	// A partial row-group anywhere but last is rejected.
+	last := len(orig.RowGroups) - 1
+	if _, err := StitchColumns([]RowGroupRef{{Col: orig, G: last}, {Col: orig, G: 0}}); err == nil {
+		t.Fatal("partial row-group in the middle accepted")
+	}
+}

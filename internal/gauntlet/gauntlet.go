@@ -6,7 +6,8 @@
 // drift into a failing check instead of an anecdote.
 //
 // Measure runs all nine codecs (alp, alp_rd, gorilla, chimp, chimp128,
-// patas, elf, pde, gp) over three datasets per domain, recording
+// patas, elf, pde, gp) over four datasets per domain — three float64
+// regimes plus the domain's widened-float32 cell — recording
 // compression ratio (bits/value) and compress / decompress / filter
 // throughput in MV/s, plus one served end-to-end ALPS scan per domain
 // through a loopback HTTP server. Noise control is median-of-K: each
@@ -122,19 +123,30 @@ type DomainSuite struct {
 	Datasets []string
 }
 
-// Suite is the gauntlet's dataset matrix: three datasets per domain,
-// chosen to span the regimes inside each domain (for the paper domains:
-// a low-precision walk, a high-precision walk and a duplicate-heavy
-// column for time series; a zero-heavy workbook, a mixed-precision
-// monetary column and a real-double coordinate column for db).
+// Suite is the gauntlet's dataset matrix: three float64 datasets per
+// domain, chosen to span the regimes inside each domain (for the paper
+// domains: a low-precision walk, a high-precision walk and a
+// duplicate-heavy column for time series; a zero-heavy workbook, a
+// mixed-precision monetary column and a real-double coordinate column
+// for db), plus the domain's float32 cell (dataset.Extended32) — the
+// same fingerprint stored at single precision, appended last so each
+// domain's served-scan point stays on its first float64 dataset.
 func Suite() []DomainSuite {
-	return []DomainSuite{
+	suites := []DomainSuite{
 		{dataset.DomainHPC, []string{"HPC/msg-sweep3d", "HPC/num-brain", "HPC/turbulence"}},
 		{dataset.DomainTimeSeries, []string{"City-Temp", "Basel-temp", "Stocks-USA"}},
 		{dataset.DomainObservability, []string{"Obs/cpu-util", "Obs/latency-ms", "Obs/mem-rss"}},
 		{dataset.DomainDB, []string{"Gov/10", "CMS/1", "POI-lat"}},
 		{dataset.DomainML, []string{"ML/weights-f32", "ML/gradients", "ML/embeddings"}},
 	}
+	for _, d := range dataset.Extended32() {
+		for i := range suites {
+			if suites[i].Domain == d.Domain {
+				suites[i].Datasets = append(suites[i].Datasets, d.Name)
+			}
+		}
+	}
+	return suites
 }
 
 // measureFn measures one codec on one dataset and returns the entry

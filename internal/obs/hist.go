@@ -48,6 +48,11 @@ const (
 	HistStageRepack     // sparse-selection re-pack on the scan wire path
 	HistStageScanDecode // client-side scan frame decode
 
+	// Scatter-gather coordinator (internal/cluster).
+	HistClusterScatter // clustered query end-to-end (plan + fan-out + merge)
+	HistClusterBackend // one backend call within a scatter
+	HistClusterFanout  // samples are scatter widths (backends per query), not ns
+
 	NumHists
 )
 
@@ -70,6 +75,9 @@ var histNames = [NumHists]string{
 	HistStageHTTPWrite:  "stage_http_write",
 	HistStageRepack:     "stage_repack",
 	HistStageScanDecode: "stage_scan_decode",
+	HistClusterScatter:  "lat_cluster_scatter",
+	HistClusterBackend:  "lat_cluster_backend",
+	HistClusterFanout:   "cluster_fanout",
 }
 
 // HistName returns the stable metric-name prefix of id ("lat_scan",

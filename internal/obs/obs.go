@@ -85,6 +85,14 @@ type Collector struct {
 	scanFramesRaw      atomic.Int64 // frames that fell back to raw float64s
 	scanBytesSaved     atomic.Int64 // raw-encoding bytes minus actual wire bytes
 
+	// Scatter-gather coordinator (internal/cluster).
+	clusterScatters   atomic.Int64 // scatter fan-outs executed (one per clustered query)
+	clusterCalls      atomic.Int64 // backend calls issued by scatters
+	clusterFailovers  atomic.Int64 // row-group groups re-fetched from a replica
+	clusterPartial    atomic.Int64 // queries failed typed partial-unavailable
+	clusterStragglers atomic.Int64 // scatters whose slowest backend dominated (see ClusterStraggler)
+	clusterRebalances atomic.Int64 // row-group range moves completed
+
 	// Latency histograms: per server endpoint and per engine stage.
 	// Durations live here (mergeable distributions with quantiles);
 	// the counters above stay monotonic event counts. The old
@@ -360,6 +368,65 @@ func (c *Collector) ServerBytesOut(n int64) {
 // ServerScanned records one served scan/agg/count request. Durations
 // are no longer folded into a counter here — the per-endpoint latency
 // histograms (Observe with HistAgg/HistCount/HistScan) carry them.
+// ---- scatter-gather coordinator hooks ----
+
+// ClusterScatter records one clustered query's fan-out: the number of
+// distinct backends the query scattered to lands in the
+// HistClusterFanout width histogram.
+func (c *Collector) ClusterScatter(fanout int) {
+	if c == nil {
+		return
+	}
+	c.clusterScatters.Add(1)
+	c.hists[HistClusterFanout].Record(int64(fanout))
+}
+
+// ClusterCall records one backend call issued by a scatter.
+func (c *Collector) ClusterCall() {
+	if c == nil {
+		return
+	}
+	c.clusterCalls.Add(1)
+}
+
+// ClusterFailover records a group of row-groups re-fetched from a
+// replica after their chosen backend failed.
+func (c *Collector) ClusterFailover() {
+	if c == nil {
+		return
+	}
+	c.clusterFailovers.Add(1)
+}
+
+// ClusterPartialUnavailable records a clustered query that failed with
+// the typed partial-unavailability error: some row-groups had no
+// answering replica, and the coordinator refused to serve a silent
+// partial result.
+func (c *Collector) ClusterPartialUnavailable() {
+	if c == nil {
+		return
+	}
+	c.clusterPartial.Add(1)
+}
+
+// ClusterStraggler records a scatter whose slowest backend took more
+// than twice the fastest — the signal for a shard that drags every
+// fan-out behind it.
+func (c *Collector) ClusterStraggler() {
+	if c == nil {
+		return
+	}
+	c.clusterStragglers.Add(1)
+}
+
+// ClusterRebalance records one completed row-group range move.
+func (c *Collector) ClusterRebalance() {
+	if c == nil {
+		return
+	}
+	c.clusterRebalances.Add(1)
+}
+
 func (c *Collector) ServerScanned() {
 	if c == nil {
 		return
@@ -440,6 +507,13 @@ type Snapshot struct {
 	ScanFramesRaw      int64
 	ScanBytesSaved     int64
 
+	ClusterScatters   int64
+	ClusterCalls      int64
+	ClusterFailovers  int64
+	ClusterPartial    int64
+	ClusterStragglers int64
+	ClusterRebalances int64
+
 	// Hists[id] is the snapshot of latency histogram id (see HistID).
 	Hists [NumHists]HistSnapshot
 }
@@ -488,6 +562,12 @@ func (c *Collector) Snapshot() Snapshot {
 	s.ScanFramesRepacked = c.scanFramesRepacked.Load()
 	s.ScanFramesRaw = c.scanFramesRaw.Load()
 	s.ScanBytesSaved = c.scanBytesSaved.Load()
+	s.ClusterScatters = c.clusterScatters.Load()
+	s.ClusterCalls = c.clusterCalls.Load()
+	s.ClusterFailovers = c.clusterFailovers.Load()
+	s.ClusterPartial = c.clusterPartial.Load()
+	s.ClusterStragglers = c.clusterStragglers.Load()
+	s.ClusterRebalances = c.clusterRebalances.Load()
 	for i := range s.Hists {
 		s.Hists[i] = c.hists[i].Snapshot()
 	}
@@ -537,6 +617,12 @@ func (c *Collector) Reset() {
 	c.scanFramesRepacked.Store(0)
 	c.scanFramesRaw.Store(0)
 	c.scanBytesSaved.Store(0)
+	c.clusterScatters.Store(0)
+	c.clusterCalls.Store(0)
+	c.clusterFailovers.Store(0)
+	c.clusterPartial.Store(0)
+	c.clusterStragglers.Store(0)
+	c.clusterRebalances.Store(0)
 	for i := range c.hists {
 		c.hists[i].reset()
 	}
@@ -617,6 +703,12 @@ func (s Snapshot) Counters() []Metric {
 		{"scan_frames_repacked", s.ScanFramesRepacked},
 		{"scan_frames_raw", s.ScanFramesRaw},
 		{"scan_bytes_saved", s.ScanBytesSaved},
+		{"cluster_scatters", s.ClusterScatters},
+		{"cluster_backend_calls", s.ClusterCalls},
+		{"cluster_failovers", s.ClusterFailovers},
+		{"cluster_partial_unavailable", s.ClusterPartial},
+		{"cluster_stragglers", s.ClusterStragglers},
+		{"cluster_rebalances", s.ClusterRebalances},
 	}
 }
 

@@ -1,0 +1,33 @@
+package servedbench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/goalp/alp/internal/bench"
+)
+
+// A tiny end-to-end pass over the clustered-agg rig: the measurement
+// itself verifies bit-identity against the in-process engine before
+// timing anything, so a green run is a correctness statement, not just
+// a smoke test.
+func TestMeasureClusteredAgg(t *testing.T) {
+	entries, err := MeasureClusteredAgg(8192, []int{1, 2}, bench.Options{MinDur: time.Millisecond})
+	if err != nil {
+		t.Fatalf("MeasureClusteredAgg: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.AggMVs <= 0 {
+			t.Errorf("%d shards: non-positive throughput %v", e.Shards, e.AggMVs)
+		}
+		if e.Rows <= 0 {
+			t.Errorf("%d shards: no rows selected", e.Shards)
+		}
+		if e.SpeedupOver1 <= 0 {
+			t.Errorf("%d shards: speedup_over_1shard not recorded: %v", e.Shards, e.SpeedupOver1)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Tests for the cluster-facing API surface: partial aggregates,
+// row-group-ranged scans and exports, and compressed ingest.
+package server
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"github.com/goalp/alp"
+	"github.com/goalp/alp/client"
+	"github.com/goalp/alp/internal/engine"
+	"github.com/goalp/alp/internal/format"
+	"github.com/goalp/alp/internal/vector"
+)
+
+func TestAggPartialsMatchEngine(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(3*vector.RowGroupSize+999, 5)
+	if _, err := cl.Ingest(ctx, "c", values); err != nil {
+		t.Fatal(err)
+	}
+	rel := engine.BuildALPFromColumn("c", format.EncodeColumn(values))
+	want, _ := rel.FilterAggPartials(1, engine.GE(100), nil)
+
+	got, _, err := cl.AggPartials(ctx, "c", client.GE(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d partials, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) ||
+			got[i].Count != want[i].Count ||
+			math.Float64bits(got[i].Min) != math.Float64bits(want[i].Min) ||
+			math.Float64bits(got[i].Max) != math.Float64bits(want[i].Max) {
+			t.Fatalf("partial %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// Subset request: server-local indexes, response in request order.
+	sub, _, err := cl.AggPartials(ctx, "c", client.GE(100), []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 ||
+		math.Float64bits(sub[0].Sum) != math.Float64bits(want[2].Sum) ||
+		math.Float64bits(sub[1].Sum) != math.Float64bits(want[0].Sum) {
+		t.Fatalf("subset partials wrong: %+v", sub)
+	}
+
+	counts, err := cl.CountPartials(ctx, "c", client.GE(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if counts[i] != want[i].Count {
+			t.Fatalf("count partial %d: %d != %d", i, counts[i], want[i].Count)
+		}
+	}
+
+	// Out-of-range subset is a 400, not a panic.
+	if _, _, err := cl.AggPartials(ctx, "c", client.GE(100), []int{99}); err == nil {
+		t.Fatal("out-of-range rgs accepted")
+	}
+}
+
+func TestScanRowGroupRange(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(3*vector.RowGroupSize+1234, 6)
+	if _, err := cl.Ingest(ctx, "c", values); err != nil {
+		t.Fatal(err)
+	}
+	pred := client.GE(150)
+	epred := engine.GE(150)
+
+	// Expected rows of row-groups 1..2, in position order.
+	var want []float64
+	for _, v := range values[vector.RowGroupSize : 3*vector.RowGroupSize] {
+		if epred.Match(v) {
+			want = append(want, v)
+		}
+	}
+	for _, compressed := range []bool{false, true} {
+		payload, ct, rows, err := cl.ScanRange(ctx, "c", pred, 1, 2, compressed)
+		if err != nil {
+			t.Fatalf("compressed=%v: %v", compressed, err)
+		}
+		if rows != len(want) {
+			t.Fatalf("compressed=%v: trailer %d rows, want %d", compressed, rows, len(want))
+		}
+		var got []float64
+		if ct == alp.ScanStreamContentType {
+			if got, err = alp.DecodeScanStream(payload); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			got = make([]float64, len(payload)/8)
+			if err := decodeF64LEInto(payload, got); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("compressed=%v: %d rows, want %d", compressed, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("compressed=%v: row %d differs", compressed, i)
+			}
+		}
+	}
+
+	// Bad ranges are 400s.
+	if _, _, _, err := cl.ScanRange(ctx, "c", pred, 3, 99, false); err == nil {
+		t.Fatal("out-of-range scan accepted")
+	}
+	if _, _, _, err := cl.ScanRange(ctx, "c", pred, 2, 1, false); err == nil {
+		t.Fatal("inverted scan range accepted")
+	}
+}
+
+func TestDataRangeExportAndCompressedIngest(t *testing.T) {
+	_, cl := newTestServer(t, Options{})
+	ctx := context.Background()
+	values := dataset(2*vector.RowGroupSize+777, 7)
+	if _, err := cl.Ingest(ctx, "c", values); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ranged export is a standalone column holding exactly that range.
+	data, err := cl.DataRange(ctx, "c", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := format.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("ranged export does not parse: %v", err)
+	}
+	if col.N != vector.RowGroupSize {
+		t.Fatalf("ranged export holds %d values", col.N)
+	}
+
+	// Re-ingest the exported range under a new name: no re-encode, and
+	// queries against it answer for the range's values.
+	if _, err := cl.IngestCompressed(ctx, "mid", data); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := cl.Compressed(ctx, "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored, data) {
+		t.Fatal("compressed ingest did not store the stream verbatim")
+	}
+	agg, err := cl.Agg(ctx, "mid", client.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := engine.BuildALPFromColumn("mid", col)
+	want, _ := rel.FilterAgg(1, engine.Predicate{Lo: math.Inf(-1), Hi: math.Inf(1)})
+	if math.Float64bits(agg.Sum) != math.Float64bits(want.Sum) || agg.Count != want.Count {
+		t.Fatalf("agg over re-ingested range: %+v != %+v", agg, want)
+	}
+
+	// A corrupt compressed body must not bind.
+	if _, err := cl.IngestCompressed(ctx, "bad", []byte("not a column")); err == nil {
+		t.Fatal("corrupt compressed ingest accepted")
+	}
+	if _, err := cl.Info(ctx, "bad"); err == nil {
+		t.Fatal("corrupt compressed ingest bound a column")
+	}
+}
+
+func decodeF64LEInto(payload []byte, dst []float64) error {
+	if len(payload) != len(dst)*8 {
+		return errBadPayload
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(leU64(payload[i*8:]))
+	}
+	return nil
+}
+
+var errBadPayload = errorString("bad payload length")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -7,14 +7,16 @@
 //
 // API (all JSON errors are {"error": "..."}):
 //
-//	POST   /v1/columns/{name}            ingest little-endian float64s (streamed into the parallel Writer)
+//	POST   /v1/columns/{name}            ingest little-endian float64s (streamed into the parallel Writer),
+//	                                     or a marshaled column stream verbatim (Content-Type application/x-alp-column)
 //	GET    /v1/columns                   list column names
 //	GET    /v1/columns/{name}            column info (values, bits/value, schemes, exceptions)
 //	DELETE /v1/columns/{name}            drop a column
 //	GET    /v1/columns/{name}/agg        filtered SUM/COUNT/MIN/MAX via engine.FilterAgg
-//	GET    /v1/columns/{name}/count      filtered COUNT via engine.FilterCount
-//	GET    /v1/columns/{name}/scan       stream qualifying rows (little-endian float64s)
-//	GET    /v1/columns/{name}/data       the full compressed column stream
+//	                                     (?partials=rowgroups returns per-row-group partials, ?rgs= a subset)
+//	GET    /v1/columns/{name}/count      filtered COUNT via engine.FilterCount (?partials=rowgroups as above)
+//	GET    /v1/columns/{name}/scan       stream qualifying rows (little-endian float64s; ?rg_lo/?rg_hi bound the range)
+//	GET    /v1/columns/{name}/data       the compressed column stream (?rg_lo/?rg_hi export a re-based range)
 //	GET    /v1/columns/{name}/vectors/{i} one encoded vector as a standalone envelope
 //	GET    /metrics                      codec + service counters, latency quantiles, per-column stats (JSON, sorted keys)
 //	GET    /metrics.prom                 the same snapshot in Prometheus text exposition format
@@ -534,10 +536,20 @@ func infoFor(sc *storedColumn) columnInfo {
 // into a parallel Writer: full row-groups are encoded by the bounded
 // pool while the body is still arriving, so ingest memory stays
 // bounded at workers+1 raw row-groups regardless of column size.
+// CompressedContentType marks a request or response body holding a
+// marshaled ALP column stream rather than raw float64s. Ingesting it
+// skips the encoder entirely — the path rebalancing moves compressed
+// row-group ranges over.
+const CompressedContentType = "application/x-alp-column"
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := validateName(name); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct == CompressedContentType {
+		s.ingestCompressed(w, r, name)
 		return
 	}
 	o := obs.Active()
@@ -612,6 +624,39 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, infoFor(sc))
 }
 
+// ingestCompressed stores an already-marshaled column stream verbatim
+// (Content-Type application/x-alp-column). The registry's Put
+// validates the stream before the swap, so a corrupt body never
+// replaces a good column.
+func (s *Server) ingestCompressed(w http.ResponseWriter, r *http.Request, name string) {
+	tr := obs.TraceFrom(r.Context())
+	readStart := time.Now()
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	tr.AddSince(obs.SpanRead, readStart)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &mbe):
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d-byte cap", s.opts.MaxBodyBytes))
+		case errors.Is(err, os.ErrDeadlineExceeded), r.Context().Err() != nil:
+			httpError(w, http.StatusRequestTimeout, "ingest deadline exceeded")
+		default:
+			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return
+	}
+	obs.Active().ServerBytesIn(int64(len(data)))
+	regStart := time.Now()
+	sc, err := s.reg.Put(name, data)
+	tr.AddSince(obs.SpanRegistry, regStart)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(sc))
+}
+
 func validateName(name string) error {
 	if name == "" || len(name) > 128 {
 		return errors.New("column name must be 1..128 bytes")
@@ -657,6 +702,59 @@ type aggResponse struct {
 
 func fmtFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
+// parseRowGroups resolves the ?rgs= parameter: a comma-separated list
+// of row-group indexes (partials mode) selecting which row-groups to
+// answer for. nil means all.
+func parseRowGroups(q url.Values, numRG int) ([]int, error) {
+	raw := q.Get("rgs")
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		g, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || g < 0 || g >= numRG {
+			return nil, fmt.Errorf("rgs entries must be row-group indexes in [0, %d)", numRG)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// parseRowGroupRange resolves the ?rg_lo= / ?rg_hi= parameters (ranged
+// scans and exports). Absent parameters default to the full range;
+// either may be given alone.
+func parseRowGroupRange(q url.Values, numRG int) (lo, hi int, ranged bool, err error) {
+	lo, hi = 0, numRG-1
+	if v := q.Get("rg_lo"); v != "" {
+		if lo, err = strconv.Atoi(v); err != nil {
+			return 0, 0, false, fmt.Errorf("rg_lo must be an integer")
+		}
+		ranged = true
+	}
+	if v := q.Get("rg_hi"); v != "" {
+		if hi, err = strconv.Atoi(v); err != nil {
+			return 0, 0, false, fmt.Errorf("rg_hi must be an integer")
+		}
+		ranged = true
+	}
+	if ranged && (lo < 0 || hi < lo || hi >= numRG) {
+		return 0, 0, false, fmt.Errorf("row-group range [%d, %d] out of [0, %d)", lo, hi, numRG)
+	}
+	return lo, hi, ranged, nil
+}
+
+// aggPartialWire is one row-group's partial aggregate in the
+// partials=rowgroups response; float fields use the same exact 'g'/-1
+// encoding as aggResponse so merging coordinators round-trip bits.
+type aggPartialWire struct {
+	Sum   string `json:"sum"`
+	Count int64  `json:"count"`
+	Min   string `json:"min"`
+	Max   string `json:"max"`
+}
+
 func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
 	sc, ok := s.getColumn(w, r)
 	if !ok {
@@ -675,6 +773,28 @@ func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.testHook != nil {
 		s.testHook()
+	}
+	if q.Get("partials") == "rowgroups" {
+		idxs, err := parseRowGroups(q, len(sc.col.RowGroups))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		parts, touched := sc.rel.FilterAggPartials(threads, pred, idxs)
+		obs.Active().ServerScanned()
+		wire := make([]aggPartialWire, len(parts))
+		for i, a := range parts {
+			wire[i] = aggPartialWire{
+				Sum:   fmtFloat(a.Sum),
+				Count: a.Count,
+				Min:   fmtFloat(a.Min),
+				Max:   fmtFloat(a.Max),
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"rowgroups": wire, "touched": touched, "threads": threads,
+		})
+		return
 	}
 	agg, touched := sc.rel.FilterAggCtx(r.Context(), threads, pred)
 	obs.Active().ServerScanned()
@@ -702,6 +822,17 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	threads, err := s.parseThreads(q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if q.Get("partials") == "rowgroups" {
+		idxs, err := parseRowGroups(q, len(sc.col.RowGroups))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		counts := sc.rel.FilterCountPartials(threads, pred, idxs)
+		obs.Active().ServerScanned()
+		writeJSON(w, http.StatusOK, map[string]any{"rowgroups": counts, "threads": threads})
 		return
 	}
 	count := sc.rel.FilterCountCtx(r.Context(), threads, pred)
@@ -750,16 +881,24 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pred, err := parsePredicate(r.URL.Query())
+	q := r.URL.Query()
+	pred, err := parsePredicate(q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	rgLo, rgHi, _, err := parseRowGroupRange(q, len(sc.col.RowGroups))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	vecLo := rgLo * vector.RowGroupVectors
+	vecHi := rgHi*vector.RowGroupVectors + vector.VectorsIn(sc.col.RowGroups[rgHi].N)
 	if s.testHook != nil {
 		s.testHook()
 	}
 	if scanAcceptsCompressed(r.Header.Get("Accept")) {
-		s.serveScanStream(w, r, sc, pred)
+		s.serveScanStream(w, r, sc, pred, vecLo, vecHi)
 		return
 	}
 	w.Header().Set("Trailer", ScanRowsTrailer)
@@ -785,7 +924,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		tr.Add(obs.SpanWrite, writeNs)
 	}()
 	var t0 time.Time
-	for i := 0; i < col.NumVectors(); i++ {
+	for i := vecLo; i < vecHi; i++ {
 		if r.Context().Err() != nil {
 			// Deadline (or client gone) mid-stream: tear the connection
 			// down instead of ending the body cleanly, so the truncation
@@ -832,7 +971,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 // rows, or raw float64s (format.ScanWriter decides by exact byte
 // size). The stream header goes out before the first frame; abort
 // semantics and the row-count trailer match the raw path.
-func (s *Server) serveScanStream(w http.ResponseWriter, r *http.Request, sc *storedColumn, pred engine.Predicate) {
+func (s *Server) serveScanStream(w http.ResponseWriter, r *http.Request, sc *storedColumn, pred engine.Predicate, vecLo, vecHi int) {
 	w.Header().Set("Trailer", ScanRowsTrailer)
 	w.Header().Set("Content-Type", format.ScanContentType)
 	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
@@ -858,7 +997,7 @@ func (s *Server) serveScanStream(w http.ResponseWriter, r *http.Request, sc *sto
 		panic(http.ErrAbortHandler)
 	}
 	var t0 time.Time
-	for i := 0; i < col.NumVectors(); i++ {
+	for i := vecLo; i < vecHi; i++ {
 		if r.Context().Err() != nil {
 			panic(http.ErrAbortHandler)
 		}
@@ -902,16 +1041,33 @@ func (s *Server) serveScanStream(w http.ResponseWriter, r *http.Request, sc *sto
 	w.Header().Set(ScanRowsTrailer, strconv.Itoa(rows))
 }
 
-// handleData serves the column's full compressed stream verbatim: the
-// cheapest possible export, straight from the registry's bytes.
+// handleData serves the column's compressed stream: the full registry
+// bytes verbatim by default (the cheapest possible export), or — with
+// ?rg_lo/?rg_hi — a standalone re-based column holding just that
+// row-group range, the raw-export half of the cluster rebalance path.
 func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	sc, ok := s.getColumn(w, r)
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-alp-column")
-	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
-	w.Write(sc.data)
+	rgLo, rgHi, ranged, err := parseRowGroupRange(r.URL.Query(), len(sc.col.RowGroups))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", CompressedContentType)
+	if !ranged {
+		w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sc.col.N))
+		w.Write(sc.data)
+		return
+	}
+	sl, err := format.SliceColumn(sc.col, rgLo, rgHi)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("X-Alp-Column-Values", strconv.Itoa(sl.N))
+	w.Write(sl.Marshal())
 }
 
 // handleVector ships one encoded vector as a standalone envelope; the
